@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or one of the
+quantitative claims catalogued in DESIGN.md, prints the resulting table
+through the terminal reporter (visible even under pytest's output
+capture), and records wall-clock time via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.orchestrator import Orchestrator
+from repro.topogen import InternetSpec, generate_internet
+
+
+#: Tables queued for the end-of-run summary (see benchmarks/conftest.py).
+_TABLES = []
+
+
+def drain_tables():
+    """Hand the queued tables to the terminal-summary hook."""
+    tables, _TABLES[:] = list(_TABLES), []
+    return tables
+
+
+def emit_table(request, title: str, header: str, rows: Iterable[str],
+               footer: str = "") -> None:
+    """Queue one experiment table for printing after the test run."""
+    lines = ["", f"== {title} ==", header, "-" * len(header)]
+    lines.extend(rows)
+    if footer:
+        lines.append(footer)
+    _TABLES.append(lines)
+
+
+def emit_result(request, result) -> None:
+    """Queue a :class:`repro.experiments.ExperimentResult`'s table."""
+    _TABLES.append([""] + result.table().splitlines())
+
+
+def converged_internet(spec: InternetSpec):
+    """Generate a tiered internetwork and converge its control planes."""
+    generated = generate_internet(spec)
+    orch = Orchestrator(generated.network, seed=spec.seed)
+    orch.converge()
+    return generated, orch
+
+
+def bench_spec(seed: int = 0, **overrides) -> InternetSpec:
+    """The default mid-size internetwork used by the sweep benchmarks."""
+    params = dict(n_tier1=3, n_tier2=6, n_stub=12, routers_tier1=5,
+                  routers_tier2=4, routers_stub=2, hosts_per_stub=2,
+                  seed=seed)
+    params.update(overrides)
+    return InternetSpec(**params)

@@ -1,0 +1,20 @@
+"""E8: the universal-access virtuous cycle (wrapper over E8)."""
+
+import statistics
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_adoption_dynamics(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E8"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    ua_shares = [r["ua_share"] for r in rows]
+    wg_shares = [r["wg_share"] for r in rows]
+    assert statistics.fmean(ua_shares) > 0.9
+    assert statistics.fmean(wg_shares) < 0.4
+    assert all(u > w for u, w in zip(ua_shares, wg_shares))
+    assert all(r["wg_half"] is None for r in rows)
+    assert all(r["wg_demand"] < 0.1 for r in rows)

@@ -1,0 +1,26 @@
+"""E6: redirection proximity vs deployment (wrapper over experiment E6)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_anycast_proximity(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E6"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    # Option 1 is near-optimal at any deployment level.
+    assert all(r["opt1"]["mean"] < 1.2 for r in rows)
+    # Option 2 is worst at the lowest deployment and improves.
+    assert rows[0]["opt2"]["mean"] >= rows[-1]["opt2"]["mean"]
+    # Peer advertising pulls traffic off the default ISP at every sweep
+    # point; at very low deployment it can divert a neighbor to a
+    # slightly farther member, so bound the proximity cost rather than
+    # demand strict improvement.
+    assert all(r["opt2adv"]["default_share"]
+               <= r["opt2"]["default_share"] + 1e-9 for r in rows)
+    assert all(r["opt2adv"]["mean"] <= r["opt2"]["mean"] * 1.15 for r in rows)
+    # The default provider's early traffic share is disproportionate.
+    assert rows[0]["opt2"]["default_share"] >= 0.5
+    assert (rows[-1]["opt2"]["default_share"]
+            < rows[0]["opt2"]["default_share"])

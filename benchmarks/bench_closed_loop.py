@@ -1,0 +1,16 @@
+"""E14: the virtuous cycle, closed-loop (wrapper over experiment E14)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_closed_loop(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E14"), rounds=1, iterations=1)
+    emit_result(request, result)
+    ua, wg = result.data["ua"], result.data["wg"]
+    assert ua.first_deployment_round() is not None
+    assert ua.delivery_always_total_once_deployed()
+    assert len(ua.final().deployed_asns) > len(wg.final().deployed_asns)
+    measured = [e for e in ua.rounds if e.mean_stretch is not None]
+    assert measured[-1].mean_stretch <= measured[0].mean_stretch

@@ -1,0 +1,22 @@
+"""E13: control-plane cost of evolution events (wrappers over E13a/b)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_cold_start_scaling(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E13a"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert rows[0]["igp_msgs"] < rows[-1]["igp_msgs"]
+    assert rows[0]["bgp_msgs"] < rows[-1]["bgp_msgs"]
+
+
+def test_adoption_cost_by_scheme(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E13b"), rounds=1, iterations=1)
+    emit_result(request, result)
+    by_scheme = {r["scheme"]: r for r in result.data}
+    assert by_scheme["option2"]["bgp_msgs"] == 0
+    assert by_scheme["option1"]["bgp_msgs"] > 0
+    assert by_scheme["option2"]["igp_msgs"] > 0

@@ -1,0 +1,21 @@
+"""Figure 1: anycast enables the seamless spread of deployment.
+
+Thin benchmark wrapper over ``repro.experiments.run("F1")``: times the
+experiment, prints its table, and asserts the paper's expected shape
+(redirection follows the newest closer adopter with zero client
+reconfiguration).
+"""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_fig1_seamless_spread(benchmark, request):
+    result = benchmark.pedantic(lambda: run("F1"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert [r["redirected_to_domain"] for r in rows] == ["X", "Y", "Z"]
+    costs = [r["cost"] for r in rows]
+    assert costs == sorted(costs, reverse=True) or costs[0] >= costs[-1]
+    assert not any(r["client_reconfigured"] for r in rows)

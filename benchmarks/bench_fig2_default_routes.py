@@ -1,0 +1,15 @@
+"""Figure 2: default-ISP-rooted anycast (wrapper over experiment F2)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_fig2_default_routes(benchmark, request):
+    result = benchmark.pedantic(lambda: run("F2"), rounds=1, iterations=1)
+    emit_result(request, result)
+    data = result.data
+    assert data["before"] == {"host_x": "D", "host_y": "D", "host_z": "Q"}
+    assert data["after"] == {"host_x": "D", "host_y": "Q", "host_z": "Q"}
+    assert data["bgp_added_by_joining"] == 0
+    assert data["share_after"] < data["share_before"]

@@ -1,0 +1,22 @@
+"""Figure 3: egress selection with BGPv(N-1) import (experiment F3)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_fig3_egress_selection(benchmark, request):
+    result = benchmark.pedantic(lambda: run("F3"), rounds=1, iterations=1)
+    emit_result(request, result)
+    by_policy = {r["policy"]: r for r in result.data}
+    naive = by_policy["exit-immediately"]
+    informed = by_policy["bgp-informed"]
+    hosted = by_policy["host-advertised"]
+    assert all(r["delivered"] for r in result.data)
+    assert naive["egress_domain"] == "M"
+    assert informed["egress_domain"] == "O"
+    assert informed["tail"] < naive["tail"]
+    assert informed["coverage"] > naive["coverage"]
+    # The rejected design reaches the same exit quality; the paper's
+    # objection to it is procedural, not path quality.
+    assert hosted["egress_domain"] == "O"

@@ -1,0 +1,23 @@
+"""Figure 4: advertising-by-proxy (wrapper over experiment F4)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_fig4_advertising_by_proxy(benchmark, request):
+    result = benchmark.pedantic(lambda: run("F4"), rounds=1, iterations=1)
+    emit_result(request, result)
+    by_config = {r["config"]: r for r in result.data}
+    assert all(r["delivered"] for r in result.data)
+    naive = by_config["no proxy"]
+    assert naive["exit"] == "A"
+    assert "M" in naive["as_path"] and "N" in naive["as_path"]
+    for label in ("proxy, thr=1", "proxy, thr=2"):
+        proxied = by_config[label]
+        assert proxied["exit"] in ("B", "C")
+        assert "M" not in proxied["as_path"]
+        assert proxied["tail"] < naive["tail"]
+    # thr=2 brings B into the proxy set alongside C.
+    assert by_config["proxy, thr=1"]["proxies"] == "C"
+    assert by_config["proxy, thr=2"]["proxies"] == "B+C"

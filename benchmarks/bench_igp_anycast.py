@@ -1,0 +1,19 @@
+"""E11: cost of the IGP anycast extensions (wrapper over E11)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_igp_anycast_cost(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E11"), rounds=1, iterations=1)
+    emit_result(request, result)
+    ls = result.data["linkstate"]
+    dv = result.data["distancevector"]
+    for rows in (ls, dv):
+        baseline = rows[0]["cold"]
+        # Advertising 4 groups costs at most ~2x a cold start with none.
+        assert rows[-1]["cold"] <= 2 * baseline
+        # Incremental membership change is far cheaper than a cold start.
+        assert 0 < rows[-1]["incremental"] < baseline / 2
+    assert ls[0]["discovery"] and not dv[0]["discovery"]

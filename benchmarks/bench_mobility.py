@@ -1,0 +1,14 @@
+"""E16: host mobility over an IPvN (wrapper over experiment E16)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_mobility(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E16"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert all(r["vn_reaches"] for r in rows)
+    assert not any(r["ipv4_old_locator"] for r in rows)
+    assert all(r["stretch"] >= 1.0 for r in rows)

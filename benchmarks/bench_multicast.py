@@ -1,0 +1,25 @@
+"""E12: IP Multicast as an IPvN (wrappers over E12a/E12b)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_multicast_efficiency(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E12a"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert all(r["reached"] == r["receivers"] for r in rows)
+    assert all(r["mcast_cost"] <= r["unicast_cost"] for r in rows)
+    # The bandwidth advantage grows with group size.
+    assert rows[-1]["ratio"] > rows[0]["ratio"]
+    assert all(r["mcast_stress"] <= r["unicast_stress"] for r in rows)
+
+
+def test_multicast_universal_access(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E12b"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert all(r["reached"] == r["expected"] for r in rows)
+    # Trees get cheaper as deployment spreads.
+    assert rows[-1]["cost"] <= rows[0]["cost"]

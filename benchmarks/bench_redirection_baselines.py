@@ -1,0 +1,20 @@
+"""E7: application-level redirection baselines (wrapper over E7)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_redirection_baselines(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E7"), rounds=1, iterations=1)
+    emit_result(request, result)
+    by_name = {r["mechanism"]: r for r in result.data}
+    for label in ("anycast (paper)", "anycast, after churn"):
+        assert by_name[label]["delivered"] == 1.0
+        assert not by_name[label]["contracts"]
+    assert by_name["ISP lookup"]["served"] < 1.0
+    assert by_name["broker, full reports"]["contracts"]
+    assert (by_name["broker, stale snapshot"]["delivered"]
+            < by_name["broker, after re-sync"]["delivered"])
+    assert (by_name["broker, partial reports"]["delivered"]
+            <= by_name["broker, full reports"]["delivered"])

@@ -1,0 +1,21 @@
+"""E17: availability under failures (wrapper over experiment E17)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_resilience(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E17"), rounds=1, iterations=1)
+    emit_result(request, result)
+    events = result.data["events"]
+    first_member = result.data["first_member"]
+    # Delivery never dips across any failure/repair event.
+    assert all(e["delivery"] == 1.0 for e in events), events
+    by_event = {e["event"]: e for e in events}
+    down = by_event[f"member {first_member} fails"]
+    # The dead member carries no anycast traffic while down.
+    assert down["victim_carried_traffic"] is False
+    # Redirection state returns to baseline after restoration.
+    restored = by_event[f"member {first_member} restored"]
+    assert restored["redirect"] == by_event["baseline"]["redirect"]

@@ -1,0 +1,16 @@
+"""E15: global-SPF vs layered BGPvN ablation (wrapper over E15)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_routing_modes(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E15"), rounds=1, iterations=1)
+    emit_result(request, result)
+    for r in result.data:
+        assert r["flat"]["delivery"] == 1.0
+        assert r["layered"]["delivery"] == 1.0
+        # Layered decisions are at domain granularity: never catastrophically
+        # worse than the global SPF.
+        assert r["layered"]["stretch"] <= r["flat"]["stretch"] * 1.5 + 0.1

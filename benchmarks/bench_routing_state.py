@@ -1,0 +1,22 @@
+"""E5: inter-domain routing-state scaling (wrapper over experiment E5)."""
+
+from repro.experiments import run
+from repro.experiments.common import experiment_spec
+
+from _common import emit_result
+
+
+def test_routing_state_scaling(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E5"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    n_domains = experiment_spec().total_domains()
+    first, last = rows[0], rows[-1]
+    growth = last["groups"] / first["groups"]
+    # Option 1: linear growth, felt at every AS.
+    assert last["option1"]["total"] == first["option1"]["total"] * growth
+    assert first["option1"]["total"] >= n_domains
+    # Option 2: zero global state at any scale.
+    assert last["option2"]["total"] == 0
+    # GIA: grows with groups but far below option 1.
+    assert last["gia"]["total"] < last["option1"]["total"] / 2

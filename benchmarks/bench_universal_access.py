@@ -1,0 +1,18 @@
+"""E10: universal access end to end (wrapper over experiment E10)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_universal_access(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E10"), rounds=1, iterations=1)
+    emit_result(request, result)
+    naive = result.data["exit-immediately"]
+    informed = result.data["bgp-informed"]
+    for rows in (naive, informed):
+        assert all(r["delivery"] == 1.0 for r in rows)
+        assert rows[-1]["stretch"] <= rows[0]["stretch"]
+    # BGP-informed egress never has longer legacy tails than naive exit.
+    assert all(i["tail"] <= n["tail"] + 1e-9
+               for n, i in zip(naive, informed))

@@ -1,0 +1,29 @@
+"""E9: vN-Bone construction, repair, congruence (wrappers over E9a/E9b)."""
+
+from repro.experiments import run
+
+from _common import emit_result
+
+
+def test_vnbone_k_sweep(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E9a"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert all(r["connected"] for r in rows)
+    # More neighbors, more tunnels.
+    assert rows[0]["tunnels"] <= rows[-1]["tunnels"]
+    # DV domains produce bootstrap tunnels at every k.
+    assert all(r["bootstraps"] > 0 for r in rows)
+
+
+def test_vnbone_congruence(benchmark, request):
+    result = benchmark.pedantic(lambda: run("E9b"), rounds=1, iterations=1)
+    emit_result(request, result)
+    rows = result.data
+    assert all(r["connected"] for r in rows)
+    # Row 0 has a single adopter (no inter tunnels; congruence vacuous),
+    # so compare the sparse phase (row 1) against the dense end state.
+    sparse, dense = rows[1], rows[-1]
+    assert dense["congruent"] > sparse["congruent"]
+    assert dense["congruent"] >= 0.9
+    assert dense["mean_cost"] <= sparse["mean_cost"]

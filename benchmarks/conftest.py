@@ -1,0 +1,13 @@
+"""Benchmark-suite plumbing: print experiment tables after the run."""
+
+import _common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = _common.drain_tables()
+    if not tables:
+        return
+    terminalreporter.section("experiment tables (paper reproduction)")
+    for lines in tables:
+        for line in lines:
+            terminalreporter.write_line(line)

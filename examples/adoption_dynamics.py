@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The universal-access virtuous cycle vs the multicast chicken-and-egg.
+
+Section 2.1's incentive argument as two trajectories of the adoption
+model: with universal access, the first deployment makes the whole user
+base addressable, application demand takes off, revenue flows to
+offering ISPs (A4), and adoption cascades.  Without it, applications
+can only serve deployed ISPs' customers, demand never materializes, and
+deployment stalls at experimental seeds — IP Multicast's fate.
+
+Run:  python examples/adoption_dynamics.py
+"""
+
+from repro.core.incentives import compare_access_models
+
+WIDTH = 60
+
+
+def sparkline(values, width=WIDTH):
+    """Render a 0..1 series as a one-character-per-sample bar row."""
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(blocks[min(int(v * (len(blocks) - 1)), len(blocks) - 1)]
+                   for v in sampled)
+
+
+def main() -> None:
+    print("=== Adoption dynamics: universal access vs walled garden ===\n")
+    rounds = 80
+    results = compare_access_models(n_isps=30, rounds=rounds, seed=3)
+    ua = results["universal_access"]
+    wg = results["walled_garden"]
+
+    print(f"{'':>24}" + "round 1 " + "-" * (WIDTH - 16) + f" round {rounds}")
+    print(f"{'UA deployed share':>22}: {sparkline(ua.deployed_share)}")
+    print(f"{'UA app demand':>22}: {sparkline(ua.demand)}")
+    print(f"{'walled deployed share':>22}: {sparkline(wg.deployed_share)}")
+    print(f"{'walled app demand':>22}: {sparkline(wg.demand)}")
+    print()
+
+    half_ua = ua.rounds_to_share(0.5)
+    half_wg = wg.rounds_to_share(0.5)
+    print(f"final deployed market share: UA {ua.final_share():.0%}, "
+          f"walled garden {wg.final_share():.0%}")
+    print(f"final application demand:    UA {ua.final_demand():.0%}, "
+          f"walled garden {wg.final_demand():.0%}")
+    print(f"rounds to 50% deployment:    UA "
+          f"{half_ua if half_ua is not None else 'never'}, walled garden "
+          f"{half_wg if half_wg is not None else 'never'}")
+
+    print("\nSweep across seeds (final deployed share):")
+    print(f"{'seed':>6} {'universal access':>18} {'walled garden':>15}")
+    for seed in range(8):
+        r = compare_access_models(n_isps=30, rounds=rounds, seed=seed)
+        print(f"{seed:>6} {r['universal_access'].final_share():>18.0%} "
+              f"{r['walled_garden'].final_share():>15.0%}")
+
+
+if __name__ == "__main__":
+    main()

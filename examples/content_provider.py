@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""A content provider adopts IPv8: network-level vs application-level
+redirection under deployment churn (Sections 2.2 vs 2.3/3).
+
+The scenario the paper's multicast discussion evokes: a content
+provider (think CNN) wants to ship an IPv8-aware application.  Its
+viability depends on how many clients can actually reach the IPv8
+service, and on how robust the redirection machinery is while the
+deployment landscape is still shifting.
+
+We run a client-server workload three ways:
+
+* anycast (the paper's proposal): clients encapsulate to the well-known
+  anycast address; the network self-manages redirection;
+* ISP-run lookup services: only clients of participating ISPs get
+  served at all (assumption A3 forbids foreign contracts);
+* a third-party broker: serves everyone, but answers from a cached
+  snapshot of deployment, so adoption churn blackholes traffic until it
+  re-syncs — and it upsets the market structure in the first place.
+
+Run:  python examples/content_provider.py
+"""
+
+from repro.core.evolution import EvolvableInternet
+from repro.net.errors import RedirectionError
+from repro.redirection import (BrokerLookupService, IspLookupService,
+                               app_level_send)
+from repro.topogen import InternetSpec
+
+
+def score(deployment, clients, server, mechanism, service=None):
+    served = delivered = 0
+    for client in clients:
+        if client == server:
+            continue
+        try:
+            if service is None:
+                trace = deployment.send(client, server)
+            else:
+                trace = app_level_send(deployment, service, client, server)
+        except RedirectionError:
+            continue
+        served += 1
+        delivered += trace.delivered
+    total = len(clients) - (1 if server in clients else 0)
+    return {"mechanism": mechanism, "served": served / total,
+            "delivered": delivered / total}
+
+
+def main() -> None:
+    internet = EvolvableInternet.generate(
+        InternetSpec(n_tier1=3, n_tier2=5, n_stub=10, hosts_per_stub=2,
+                     seed=13))
+    ipv8 = internet.new_deployment(version=8, scheme="default")
+    ipv8.deploy(ipv8.scheme.default_asn)
+    # The content provider's ISP adopts too (it wants IPv8 service).
+    server = internet.hosts()[0]
+    server_asn = internet.network.node(server).domain_id
+    ipv8.deploy(server_asn)
+    ipv8.rebuild()
+
+    clients = internet.hosts()[1:]
+    isp_lookup = IspLookupService(ipv8)
+    broker = BrokerLookupService(ipv8)
+    isp_lookup.sync()
+    broker.sync()
+
+    print("=== Content provider scenario: who can reach the IPv8 service? ===\n")
+    rows = [
+        score(ipv8, clients, server, "anycast (paper)"),
+        score(ipv8, clients, server, "ISP lookup", isp_lookup),
+        score(ipv8, clients, server, "broker (fresh)", broker),
+    ]
+
+    # Now the deployment landscape shifts: one ISP rolls back, two new
+    # ISPs adopt.  Only the broker's snapshot is stale; anycast
+    # self-manages (Section 3.1's "seamless spread").  Note the rolled
+    # back ISP is NOT the default provider: the default ISP owns the
+    # anycast address and is the one party option 2 needs to stay.
+    rollback = server_asn
+    newcomers = [asn for asn in internet.stub_asns()
+                 if asn not in (rollback, ipv8.scheme.default_asn)][:2]
+    ipv8.undeploy(rollback)
+    for asn in newcomers:
+        ipv8.deploy(asn)
+    ipv8.rebuild()
+    isp_lookup.participants = None  # ISP services track deployment
+    isp_lookup.sync()
+    rows.append(score(ipv8, clients, server, "anycast, after churn"))
+    rows.append(score(ipv8, clients, server, "ISP lookup, after churn",
+                      isp_lookup))
+    rows.append(score(ipv8, clients, server, "broker, stale snapshot",
+                      broker))
+    broker.sync()
+    rows.append(score(ipv8, clients, server, "broker, after re-sync", broker))
+
+    header = f"{'mechanism':>26} {'served':>8} {'delivered':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['mechanism']:>26} {row['served']:>8.0%} "
+              f"{row['delivered']:>10.0%}")
+
+    print("\nAnycast serves and delivers for every client at every stage.")
+    print("ISP lookup strands clients of non-participating ISPs; the broker")
+    print("serves everyone but blackholes through deployment churn until it")
+    print("re-syncs — and requires new market relationships besides.")
+
+
+if __name__ == "__main__":
+    main()

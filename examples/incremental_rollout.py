@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Incremental rollout: Figure 1 at Internet scale.
+
+Replays the paper's deployment story on a generated internetwork: ISPs
+adopt IPv8 one by one (core-first), and after every adoption we measure
+what clients experience — delivery ratio, path stretch, how far the
+nearest IPv8 ingress is, how much traffic the default provider carries,
+and how often endhosts had to be touched (relabeling only; redirection
+is reconfiguration-free by construction).
+
+The table's shape is the paper's argument: universal access is total
+from the very first adopter, and every quality metric improves
+monotonically-ish as deployment spreads — the virtuous cycle's
+technical precondition.
+
+Run:  python examples/incremental_rollout.py
+"""
+
+import statistics
+
+from repro.core.deployment import DeploymentSchedule, ScenarioRunner
+from repro.core.evolution import EvolvableInternet
+from repro.core.metrics import measure_reachability, traffic_share
+from repro.topogen import InternetSpec
+
+
+def main() -> None:
+    internet = EvolvableInternet.generate(
+        InternetSpec(n_tier1=3, n_tier2=6, n_stub=12, hosts_per_stub=2,
+                     seed=7))
+    ipv8 = internet.new_deployment(version=8, scheme="default")
+    default_asn = ipv8.scheme.default_asn
+    network = internet.network
+
+    # Core-first adoption, starting from the default ISP.
+    order = [default_asn] + [asn for asn in
+                             DeploymentSchedule.core_first(network).asns()
+                             if asn != default_asn]
+    schedule = DeploymentSchedule.explicit(order[:12])
+    pairs = internet.host_pairs(sample=60, seed=1)
+
+    def probe(step, deployment):
+        if not deployment.members():
+            return {"delivery": 0.0, "stretch": None, "ingress_cost": None,
+                    "default_share": None}
+        report = measure_reachability(network, deployment.send, pairs)
+        traces = [deployment.send(a, b) for a, b in pairs[:30]]
+        ingress_costs = []
+        for host in internet.hosts()[:10]:
+            trace = deployment.scheme.probe(host)
+            if trace.delivered:
+                ingress_costs.append(deployment.scheme.path_cost(trace))
+        return {
+            "delivery": report.delivery_ratio,
+            "stretch": report.mean_stretch,
+            "ingress_cost": (statistics.fmean(ingress_costs)
+                             if ingress_costs else None),
+            "default_share": traffic_share(network, traces, default_asn),
+            "relabels": len(deployment.plan.relabel_events),
+        }
+
+    result = ScenarioRunner(ipv8).run(schedule, probe)
+
+    print("=== Incremental IPv8 rollout (core-first) ===")
+    print(f"default ISP: AS{default_asn}; anycast {ipv8.scheme.address}\n")
+    header = (f"{'step':>4} {'adopter':>8} {'delivery':>9} {'stretch':>8} "
+              f"{'ingress-cost':>13} {'default-share':>14} {'relabels':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in result.rows:
+        adopter = f"AS{row['adopted_asn']}" if row["adopted_asn"] else "-"
+        stretch = f"{row['stretch']:.2f}" if row["stretch"] else "-"
+        ingress = (f"{row['ingress_cost']:.1f}"
+                   if row["ingress_cost"] is not None else "-")
+        share = (f"{row['default_share']:.0%}"
+                 if row["default_share"] is not None else "-")
+        print(f"{row['step']:>4} {adopter:>8} {row['delivery']:>9.0%} "
+              f"{stretch:>8} {ingress:>13} {share:>14} "
+              f"{row.get('relabels', 0):>9}")
+
+    print("\nReading the table: delivery is 100% from the first adopter on")
+    print("(universal access); ingress cost and stretch fall as deployment")
+    print("spreads; the default ISP's traffic share dilutes from 100%; and")
+    print("the only endhost events are address relabels in adopting ISPs.")
+
+
+if __name__ == "__main__":
+    main()

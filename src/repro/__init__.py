@@ -1,0 +1,21 @@
+"""repro: reproduction of "Towards an Evolvable Internet Architecture"
+(Ratnasamy, Shenker, McCanne; SIGCOMM 2005).
+
+The package implements, on a from-scratch router/AS-level Internet
+simulator, the paper's complete mechanism suite for evolving IP:
+
+* IP Anycast network-level redirection (options 1 and 2, plus GIA),
+* vN-Bone virtual networks with intra/inter-domain construction,
+* BGPvN routing, BGPv(N-1)-informed egress selection,
+  advertising-by-proxy, and RFC3056-style self-addressing,
+* the application-level redirection baselines the paper argues against,
+* incentive/adoption dynamics for the universal-access argument.
+
+Start with :class:`repro.core.evolution.EvolvableInternet`.
+"""
+
+from repro.core.evolution import EvolvableInternet
+
+__version__ = "1.0.0"
+
+__all__ = ["EvolvableInternet", "__version__"]

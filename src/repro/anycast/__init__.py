@@ -1,0 +1,10 @@
+"""IP Anycast deployment schemes (Section 3 of the paper)."""
+
+from repro.anycast.default_routes import DefaultRootedAnycast
+from repro.anycast.gia import GIA_INDICATOR, GiaAnycast
+from repro.anycast.global_routes import (ANYCAST_POOL, AnycastAddressPool,
+                                         GlobalAnycast)
+from repro.anycast.service import AnycastScheme
+
+__all__ = ["DefaultRootedAnycast", "GIA_INDICATOR", "GiaAnycast", "ANYCAST_POOL",
+           "AnycastAddressPool", "GlobalAnycast", "AnycastScheme"]

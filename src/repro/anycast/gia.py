@@ -1,0 +1,177 @@
+"""GIA-style anycast (Katabi et al.), the paper's scalable comparison point.
+
+Section 3.2 summarizes GIA: anycast addresses carry a well-known
+*Anycast Indicator* prefix, with the remaining bits drawn from the
+unicast space of a **home domain**; a router with no anycast entry
+derives the home domain from the address and forwards the packet along
+its ordinary unicast route towards the home — which is guaranteed to
+host at least one member.  An optional BGP extension lets border
+routers *search* for nearby members and install better-than-home
+routes.
+
+Our model keeps GIA's two essential properties and its essential cost:
+
+* **Scalability**: non-member domains hold *no per-group routing
+  state* — the home mapping is algorithmic.  We realize it by
+  installing, at convergence time, a per-router alias entry that simply
+  mirrors the router's current route towards the home domain's block
+  (``routing_state_added`` reports these as zero, since a real GIA
+  router computes them from the address bits).
+* **Proximity recovery via search**: GIA-capable domains within
+  ``search_ttl`` AS hops of a member domain route towards that nearer
+  member domain instead of the home.  These *are* counted as added
+  state.
+* **Deployment cost**: only ``capable_asns`` understand the indicator;
+  a client in a non-capable domain whose path never crosses a capable
+  or member domain simply cannot reach the group — the deployment
+  barrier that makes the paper prefer its default-ISP scheme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.errors import DeploymentError
+from repro.net.node import FibEntry, RouteSource
+from repro.core.orchestrator import Orchestrator
+from repro.anycast.service import AnycastScheme
+
+#: The well-known Anycast Indicator: top octet 241 (disjoint from both
+#: the domain blocks and option 1's 240/8 pool).
+GIA_INDICATOR = Prefix(IPv4Address(241 << 24), 8)
+
+
+class GiaAnycast(AnycastScheme):
+    """A GIA anycast group with home domain *home_asn*."""
+
+    def __init__(self, orchestrator: Orchestrator, name: str, home_asn: int,
+                 capable_asns: Optional[Set[int]] = None,
+                 search_ttl: int = 1, group_index: int = 0) -> None:
+        super().__init__(orchestrator, name)
+        if home_asn not in self.network.domains:
+            raise DeploymentError(f"unknown GIA home domain AS{home_asn}")
+        if not 0 <= group_index < 256:
+            raise DeploymentError("GIA group index must be in 0..255")
+        self.home_asn = home_asn
+        self.capable_asns = capable_asns  # None means every domain
+        self.search_ttl = search_ttl
+        self.group_index = group_index
+        self._installed: Dict[str, Prefix] = {}
+        self._search_entries: Dict[int, int] = {}
+
+    # -- addressing ---------------------------------------------------------------
+    def allocate_address(self) -> IPv4Address:
+        """Indicator bits + home-domain bits + the group number.
+
+        The home-domain bits are derived from the home's unicast block
+        (GIA's design); the low byte distinguishes concurrent groups
+        homed in the same domain.
+        """
+        home = self.network.domains[self.home_asn]
+        suffix = home.prefix.address.value & 0x00FF_FF00
+        return IPv4Address(GIA_INDICATOR.address.value | suffix
+                           | self.group_index)
+
+    def is_capable(self, asn: int) -> bool:
+        return self.capable_asns is None or asn in self.capable_asns
+
+    # -- membership hooks ------------------------------------------------------------
+    def on_domain_joined(self, asn: int) -> None:
+        """GIA adds nothing to BGP; routes are derived at install time."""
+
+    def on_domain_left(self, asn: int) -> None:
+        if asn == self.home_asn and self._member_domains:
+            raise DeploymentError(
+                "GIA requires the home domain to retain at least one member")
+
+    # -- route derivation (runs after every orchestrator convergence) ----------------
+    def post_converge_install(self) -> None:
+        """Install GIA forwarding state into capable domains' routers."""
+        self._uninstall()
+        if not self._members:
+            return
+        target_by_asn = self._search_targets()
+        anycast_pfx = Prefix.host(self.address)
+        for asn in sorted(self.network.domains):
+            if not self.is_capable(asn):
+                continue
+            if asn in self._member_domains:
+                continue  # the IGP anycast extension already routes it
+            target_prefix = target_by_asn.get(asn)
+            if target_prefix is None:
+                continue
+            for router in self.network.routers(asn):
+                current = router.fib4.lookup(self._representative(target_prefix))
+                if current is None or current.next_hop is None:
+                    continue
+                router.fib4.install(FibEntry(prefix=anycast_pfx,
+                                             next_hop=current.next_hop,
+                                             source=RouteSource.STATIC,
+                                             metric=current.metric))
+                self._installed[router.node_id] = anycast_pfx
+
+    def _uninstall(self) -> None:
+        for router_id, pfx in self._installed.items():
+            node = self.network.nodes.get(router_id)
+            if node is not None:
+                node.fib4.withdraw(pfx, RouteSource.STATIC)
+        self._installed.clear()
+        self._search_entries.clear()
+
+    @staticmethod
+    def _representative(pfx: Prefix) -> IPv4Address:
+        return IPv4Address(pfx.address.value + 1)
+
+    def _search_targets(self) -> Dict[int, Prefix]:
+        """Per capable AS, the domain prefix its GIA route should follow.
+
+        Within ``search_ttl`` AS hops of a member domain (BFS over the
+        inter-domain adjacency), the search extension found that nearer
+        member domain; beyond it, GIA falls back to the home domain.
+        """
+        home_prefix = self.network.domains[self.home_asn].prefix
+        distance: Dict[int, int] = {}
+        source_of: Dict[int, int] = {}
+        queue = deque()
+        for asn in sorted(self._member_domains):
+            distance[asn] = 0
+            source_of[asn] = asn
+            queue.append(asn)
+        while queue:
+            asn = queue.popleft()
+            if distance[asn] >= self.search_ttl:
+                continue
+            for neighbor in sorted(self.network.domains[asn].neighbor_asns()):
+                if neighbor in distance:
+                    continue
+                distance[neighbor] = distance[asn] + 1
+                source_of[neighbor] = source_of[asn]
+                queue.append(neighbor)
+        targets: Dict[int, Prefix] = {}
+        for asn in self.network.domains:
+            if asn in self._member_domains:
+                continue
+            nearest = source_of.get(asn)
+            if nearest is not None and nearest != self.home_asn:
+                targets[asn] = self.network.domains[nearest].prefix
+                self._search_entries[asn] = self._search_entries.get(asn, 0) + 1
+            else:
+                targets[asn] = home_prefix
+        return targets
+
+    # -- state accounting (experiment E5) ------------------------------------------------
+    def routing_state_added(self) -> Dict[int, int]:
+        """Per-AS routing state attributable to this group.
+
+        Non-member capable domains following the *home* derivation hold
+        zero per-group state (the mapping is algorithmic in real GIA);
+        search-installed better routes are genuinely per-group and count.
+        The home domain carries one registry entry.
+        """
+        counts = {asn: 0 for asn in self.network.domains}
+        counts[self.home_asn] = 1
+        for asn, n in self._search_entries.items():
+            counts[asn] = counts.get(asn, 0) + n
+        return counts

@@ -1,0 +1,126 @@
+"""BGP import/export policy: Gao-Rexford economics plus anycast policy.
+
+The policy layer answers two questions for a speaker:
+
+* **import**: do I accept this route from that neighbor, and at what
+  local preference?
+* **export**: do I offer my best route for this prefix to that
+  neighbor?
+
+Default behaviour is the standard valley-free model: routes learned
+from customers are exported to everyone; routes learned from peers or
+providers are exported only to customers.  Anycast-scoped routes add
+the paper's Section 3.2 rules on top (see :mod:`repro.bgp.routes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.address import Prefix
+from repro.net.domain import Domain, Relationship
+from repro.bgp.routes import (LOCAL_PREF_CUSTOMER, LOCAL_PREF_PEER,
+                              LOCAL_PREF_PROVIDER, BgpRoute, RouteScope)
+
+
+def local_pref_for(rel: Relationship) -> int:
+    """Gao-Rexford preference for a route learned over *rel*."""
+    if rel is Relationship.CUSTOMER:
+        return LOCAL_PREF_CUSTOMER
+    if rel is Relationship.PEER:
+        return LOCAL_PREF_PEER
+    return LOCAL_PREF_PROVIDER
+
+
+@dataclass
+class BilateralAgreements:
+    """Option-2 anycast advertisement agreements (Section 3.2).
+
+    An agreement ``(advertiser, neighbor)`` for a prefix means the
+    advertiser may announce its anycast route for that prefix to that
+    neighbor, and the neighbor will accept it.  ``transitive`` lets the
+    receiver re-export over its *own* agreements — the ablation knob
+    for "other ISPs pursue inter-domain advertising".
+    """
+
+    transitive: bool = False
+    _edges: Dict[Prefix, Set[Tuple[int, int]]] = field(default_factory=dict)
+
+    def add(self, prefix: Prefix, advertiser_asn: int, neighbor_asn: int) -> None:
+        self._edges.setdefault(prefix, set()).add((advertiser_asn, neighbor_asn))
+
+    def remove(self, prefix: Prefix, advertiser_asn: int, neighbor_asn: int) -> None:
+        self._edges.get(prefix, set()).discard((advertiser_asn, neighbor_asn))
+
+    def allows(self, prefix: Prefix, advertiser_asn: int, neighbor_asn: int) -> bool:
+        return (advertiser_asn, neighbor_asn) in self._edges.get(prefix, set())
+
+    def partners_of(self, prefix: Prefix, advertiser_asn: int) -> Set[int]:
+        return {nbr for adv, nbr in self._edges.get(prefix, set())
+                if adv == advertiser_asn}
+
+    def clear(self) -> None:
+        self._edges.clear()
+
+
+class BgpPolicy:
+    """Import/export decisions for one internetwork's BGP."""
+
+    def __init__(self, agreements: Optional[BilateralAgreements] = None) -> None:
+        self.agreements = agreements if agreements is not None else BilateralAgreements()
+
+    # -- import ----------------------------------------------------------------
+    def accept(self, domain: Domain, route: BgpRoute, from_asn: int) -> Optional[BgpRoute]:
+        """The route as imported by *domain*, or None to reject it."""
+        if route.contains_asn(domain.asn):
+            return None  # AS-path loop
+        rel = domain.relationship_with(from_asn)
+        if rel is None:
+            return None  # no session with this neighbor
+        if route.scope is RouteScope.ANYCAST_GLOBAL and not domain.propagates_anycast:
+            # Option 1 requires a policy change; this ISP hasn't made it.
+            return None
+        if route.scope is RouteScope.ANYCAST_BILATERAL:
+            if not self.agreements.allows(route.prefix, from_asn, domain.asn):
+                return None
+        local_pref = local_pref_for(rel)
+        if route.scope.is_anycast:
+            # Section 3.1's decentralized ISP control: a domain may steer
+            # its anycast traffic towards chosen origins via local-pref.
+            override = domain.anycast_origin_pref.get(route.origin_asn)
+            if override is not None:
+                local_pref = override
+        return BgpRoute(prefix=route.prefix, as_path=route.as_path,
+                        local_pref=local_pref, scope=route.scope,
+                        learned_from=from_asn)
+
+    # -- export ------------------------------------------------------------------
+    def should_export(self, domain: Domain, route: BgpRoute, to_asn: int) -> bool:
+        """Whether *domain* offers *route* to neighbor *to_asn*."""
+        rel_to = domain.relationship_with(to_asn)
+        if rel_to is None:
+            return False
+        if route.learned_from == to_asn:
+            return False  # never reflect a route back
+        if route.scope is RouteScope.ANYCAST_BILATERAL:
+            return self._export_bilateral(domain, route, to_asn)
+        if route.scope is RouteScope.ANYCAST_GLOBAL and not domain.propagates_anycast:
+            return False
+        # Gao-Rexford: customer routes and our own go to everyone;
+        # peer/provider routes go only to customers.
+        if route.originated:
+            return True
+        rel_from = domain.relationship_with(route.learned_from)
+        if rel_from is Relationship.CUSTOMER:
+            return True
+        return rel_to is Relationship.CUSTOMER
+
+    def _export_bilateral(self, domain: Domain, route: BgpRoute, to_asn: int) -> bool:
+        if route.originated:
+            return self.agreements.allows(route.prefix, domain.asn, to_asn)
+        if not self.agreements.transitive:
+            return False
+        # Transitive mode: the receiver may pass it along over its own
+        # agreement edges.
+        return self.agreements.allows(route.prefix, domain.asn, to_asn)

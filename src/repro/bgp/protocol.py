@@ -1,0 +1,338 @@
+"""The inter-domain routing protocol: path-vector BGP at AS granularity.
+
+One :class:`BgpSpeaker` per domain holds an Adj-RIB-In per neighbor and
+a Loc-RIB of best routes; the :class:`BgpProtocol` container wires
+speakers together along the inter-domain links, runs the message-driven
+propagation on the shared event scheduler, and — after convergence —
+installs forwarding state into every router's FIB
+(:meth:`BgpProtocol.install_routes`).
+
+Forwarding installation follows hot-potato practice: each domain picks
+its best route per prefix; the routers with an inter-domain link to the
+chosen next-hop AS become egress borders; every other router forwards
+towards its IGP-nearest egress border, using the IGP-installed route to
+that border's loopback.  This keeps the data plane honest — if the IGP
+hasn't learned a path to the egress, the BGP route is unusable and is
+not installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.address import Prefix
+from repro.net.domain import Domain
+from repro.net.errors import RoutingError
+from repro.net.link import LinkScope
+from repro.net.network import Network
+from repro.net.node import FibEntry, RouteSource, Router
+from repro.net.simulator import EventScheduler, MessageStats
+from repro.bgp.policy import BgpPolicy
+from repro.bgp.routes import (LOCAL_PREF_ORIGINATED, BgpRoute, BgpUpdate,
+                              RouteScope)
+
+#: Inter-domain message propagation delay (one MRAI-ish tick).
+SESSION_DELAY = 1.0
+
+
+class BgpSpeaker:
+    """BGP state for one domain."""
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+        self.adj_rib_in: Dict[Prefix, Dict[int, BgpRoute]] = {}
+        self.loc_rib: Dict[Prefix, BgpRoute] = {}
+        self.originated: Dict[Prefix, BgpRoute] = {}
+
+    @property
+    def asn(self) -> int:
+        return self.domain.asn
+
+    def originate(self, prefix: Prefix, scope: RouteScope = RouteScope.NORMAL) -> BgpRoute:
+        route = BgpRoute(prefix=prefix, as_path=(self.asn,),
+                         local_pref=LOCAL_PREF_ORIGINATED, scope=scope,
+                         learned_from=None)
+        self.originated[prefix] = route
+        return route
+
+    def withdraw_origination(self, prefix: Prefix) -> bool:
+        return self.originated.pop(prefix, None) is not None
+
+    def best_route(self, prefix: Prefix) -> Optional[BgpRoute]:
+        return self.loc_rib.get(prefix)
+
+    def decide(self, prefix: Prefix) -> Optional[BgpRoute]:
+        """Run the decision process for *prefix*; returns the new best."""
+        candidates: List[BgpRoute] = []
+        if prefix in self.originated:
+            candidates.append(self.originated[prefix])
+        candidates.extend(self.adj_rib_in.get(prefix, {}).values())
+        if not candidates:
+            self.loc_rib.pop(prefix, None)
+            return None
+        best = min(candidates, key=BgpRoute.selection_key)
+        self.loc_rib[prefix] = best
+        return best
+
+    def rib_size(self) -> int:
+        """Loc-RIB size — the per-AS routing-state metric of experiment E5."""
+        return len(self.loc_rib)
+
+    def adj_rib_in_size(self) -> int:
+        return sum(len(routes) for routes in self.adj_rib_in.values())
+
+
+class BgpProtocol:
+    """Message-driven path-vector routing across all domains."""
+
+    def __init__(self, network: Network, scheduler: EventScheduler,
+                 policy: Optional[BgpPolicy] = None) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        self.policy = policy if policy is not None else BgpPolicy()
+        self.stats = MessageStats()
+        self.speakers: Dict[int, BgpSpeaker] = {
+            asn: BgpSpeaker(domain) for asn, domain in network.domains.items()}
+        #: Sessions torn down by resync, awaiting physical restoration.
+        self._down_sessions: Set[Tuple[int, int]] = set()
+        self._started = False
+
+    def speaker(self, asn: int) -> BgpSpeaker:
+        try:
+            return self.speakers[asn]
+        except KeyError:
+            raise RoutingError(f"no BGP speaker for AS{asn}") from None
+
+    def add_speaker(self, domain: Domain) -> BgpSpeaker:
+        """Register a domain added after protocol construction."""
+        if domain.asn in self.speakers:
+            raise RoutingError(f"speaker for AS{domain.asn} already exists")
+        speaker = BgpSpeaker(domain)
+        self.speakers[domain.asn] = speaker
+        return speaker
+
+    # -- origination ------------------------------------------------------------
+    def originate(self, asn: int, prefix: Prefix,
+                  scope: RouteScope = RouteScope.NORMAL) -> None:
+        """Have AS *asn* originate *prefix* and propagate it."""
+        speaker = self.speaker(asn)
+        speaker.originate(prefix, scope=scope)
+        best = speaker.decide(prefix)
+        if best is not None:
+            self._export(speaker, prefix, best)
+
+    def withdraw(self, asn: int, prefix: Prefix) -> None:
+        """Withdraw *asn*'s origination of *prefix* and repropagate."""
+        speaker = self.speaker(asn)
+        if not speaker.withdraw_origination(prefix):
+            return
+        self._reconverge_prefix(speaker, prefix)
+
+    def _reconverge_prefix(self, speaker: BgpSpeaker, prefix: Prefix) -> None:
+        best = speaker.decide(prefix)
+        if best is not None:
+            self._export(speaker, prefix, best)
+        else:
+            self._export_withdrawal(speaker, prefix)
+
+    # -- propagation ----------------------------------------------------------------
+    def _export(self, speaker: BgpSpeaker, prefix: Prefix, route: BgpRoute) -> None:
+        for neighbor_asn in sorted(speaker.domain.neighbor_asns()):
+            if self.policy.should_export(speaker.domain, route, neighbor_asn):
+                # Originated routes already carry our ASN; learned routes
+                # get it prepended on the way out (standard AS-path build).
+                exported = route if route.originated else route.prepended(speaker.asn)
+                update = BgpUpdate(sender_asn=speaker.asn, prefix=prefix,
+                                   route=exported)
+            else:
+                # If policy stops exporting a route we may have exported
+                # before (e.g. best changed from customer- to peer-learned),
+                # the neighbor must hear a withdrawal.
+                update = BgpUpdate(sender_asn=speaker.asn, prefix=prefix, route=None)
+            self._send(neighbor_asn, update)
+
+    def _export_withdrawal(self, speaker: BgpSpeaker, prefix: Prefix) -> None:
+        for neighbor_asn in sorted(speaker.domain.neighbor_asns()):
+            self._send(neighbor_asn, BgpUpdate(sender_asn=speaker.asn,
+                                               prefix=prefix, route=None))
+
+    def _send(self, to_asn: int, update: BgpUpdate) -> None:
+        if to_asn not in self.speakers:
+            return
+        self.stats.record_send()
+        self.scheduler.schedule(SESSION_DELAY,
+                                lambda: self._receive(to_asn, update))
+
+    def _receive(self, asn: int, update: BgpUpdate) -> None:
+        self.stats.record_delivery()
+        speaker = self.speaker(asn)
+        rib = speaker.adj_rib_in.setdefault(update.prefix, {})
+        if update.is_withdrawal:
+            if update.sender_asn not in rib:
+                return
+            del rib[update.sender_asn]
+        else:
+            assert update.route is not None
+            imported = self.policy.accept(speaker.domain, update.route,
+                                          update.sender_asn)
+            if imported is None:
+                if update.sender_asn in rib:
+                    del rib[update.sender_asn]  # route became unacceptable
+                else:
+                    return
+            else:
+                previous = rib.get(update.sender_asn)
+                if previous == imported:
+                    return
+                rib[update.sender_asn] = imported
+        old_best = speaker.loc_rib.get(update.prefix)
+        new_best = speaker.decide(update.prefix)
+        if new_best != old_best:
+            if new_best is not None:
+                self._export(speaker, update.prefix, new_best)
+            else:
+                self._export_withdrawal(speaker, update.prefix)
+
+    # -- lifecycle --------------------------------------------------------------------
+    def originate_domain_prefixes(self) -> None:
+        """Every domain announces its own address block."""
+        for asn in sorted(self.network.domains):
+            self.originate(asn, self.network.domains[asn].prefix)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.originate_domain_prefixes()
+
+    def converge(self, max_events: int = 2_000_000) -> int:
+        """Drain BGP messages.  FIB installation is a separate step."""
+        if not self._started:
+            self.start()
+        return self.scheduler.run_until_idle(max_events=max_events)
+
+    # -- session maintenance ---------------------------------------------------------
+    def resync_sessions(self) -> int:
+        """Reconcile BGP sessions with the physical topology.
+
+        Sessions whose last live link vanished are torn down: routes
+        learned over them are flushed and the decision process re-runs,
+        propagating withdrawals or the new best routes.  Sessions that
+        come *back* (their links restored) get a full re-announcement
+        from both sides.  Returns the number of (speaker, neighbor)
+        pairs flushed.  Run after topology changes, before reinstalling
+        FIBs.
+        """
+        flushed_pairs = 0
+        for asn in sorted(self.speakers):
+            domain = self.network.domains[asn]
+            for neighbor_asn in sorted(domain.neighbor_asns()):
+                if neighbor_asn not in self.speakers:
+                    continue
+                alive = bool(self._egress_links(asn, neighbor_asn))
+                key = (asn, neighbor_asn)
+                if alive:
+                    if key in self._down_sessions:
+                        self._down_sessions.discard(key)
+                        self.reannounce(asn)
+                    continue
+                self._down_sessions.add(key)
+                if self._flush_neighbor(asn, neighbor_asn):
+                    flushed_pairs += 1
+        return flushed_pairs
+
+    def _flush_neighbor(self, asn: int, neighbor_asn: int) -> bool:
+        speaker = self.speaker(asn)
+        flushed = False
+        for prefix in sorted(speaker.adj_rib_in, key=str):
+            rib = speaker.adj_rib_in[prefix]
+            if neighbor_asn not in rib:
+                continue
+            del rib[neighbor_asn]
+            flushed = True
+            old_best = speaker.loc_rib.get(prefix)
+            new_best = speaker.decide(prefix)
+            if new_best != old_best:
+                if new_best is not None:
+                    self._export(speaker, prefix, new_best)
+                else:
+                    self._export_withdrawal(speaker, prefix)
+        return flushed
+
+    def reannounce(self, asn: int) -> None:
+        """Re-export every best route (after a session/link restoration)."""
+        speaker = self.speaker(asn)
+        for prefix in sorted(speaker.loc_rib, key=str):
+            self._export(speaker, prefix, speaker.loc_rib[prefix])
+
+    # -- forwarding-state installation --------------------------------------------------
+    def _egress_links(self, asn: int, next_hop_asn: int) -> List[Tuple[str, str]]:
+        """(local border, remote border) pairs over live links to *next_hop_asn*."""
+        pairs: List[Tuple[str, str]] = []
+        domain = self.network.domains[asn]
+        for border_id in sorted(domain.border_routers):
+            for neighbor_id, link in self.network.neighbors(
+                    border_id, scope=LinkScope.INTER_DOMAIN):
+                if self.network.node(neighbor_id).domain_id == next_hop_asn:
+                    pairs.append((border_id, neighbor_id))
+        return pairs
+
+    def install_routes(self) -> None:
+        """Install converged BGP state into every router's FIB."""
+        for asn in sorted(self.speakers):
+            self._install_domain(asn)
+
+    def _install_domain(self, asn: int) -> None:
+        speaker = self.speakers[asn]
+        domain = self.network.domains[asn]
+        routers = [self.network.node(rid) for rid in sorted(domain.routers)]
+        for router in routers:
+            router.fib4.withdraw_all(RouteSource.BGP)
+        for prefix, route in sorted(speaker.loc_rib.items(),
+                                    key=lambda item: str(item[0])):
+            if route.originated:
+                continue  # internal destinations are the IGP's job
+            next_hop_asn = route.learned_from
+            assert next_hop_asn is not None
+            egress = self._egress_links(asn, next_hop_asn)
+            if not egress:
+                continue  # session exists but no live physical link
+            remote_by_border = {local: remote for local, remote in egress}
+            for router in routers:
+                self._install_router(router, prefix, remote_by_border)
+
+    def _install_router(self, router, prefix: Prefix,
+                        remote_by_border: Dict[str, str]) -> None:
+        if router.node_id in remote_by_border:
+            router.fib4.install(FibEntry(prefix=prefix,
+                                         next_hop=remote_by_border[router.node_id],
+                                         source=RouteSource.BGP, metric=0.0))
+            return
+        # Hot potato: forward towards the IGP-nearest egress border.
+        best: Optional[Tuple[float, str, str]] = None
+        for border_id in sorted(remote_by_border):
+            border = self.network.node(border_id)
+            igp_entry = router.fib4.lookup(border.ipv4)
+            if igp_entry is None or igp_entry.next_hop is None:
+                continue
+            key = (igp_entry.metric, border_id, igp_entry.next_hop)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return  # egress unreachable via IGP; BGP route unusable
+        metric, _border_id, next_hop = best
+        router.fib4.install(FibEntry(prefix=prefix, next_hop=next_hop,
+                                     source=RouteSource.BGP, metric=metric))
+
+    # -- inspection --------------------------------------------------------------------
+    def total_rib_size(self) -> int:
+        return sum(s.rib_size() for s in self.speakers.values())
+
+    def route_counts(self) -> Dict[int, int]:
+        """Loc-RIB size per AS (experiment E5's routing-state metric)."""
+        return {asn: s.rib_size() for asn, s in sorted(self.speakers.items())}
+
+    def as_path_to(self, asn: int, prefix: Prefix) -> Optional[Tuple[int, ...]]:
+        route = self.speaker(asn).best_route(prefix)
+        return route.as_path if route is not None else None

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the library's headline experiments from the shell:
+
+* ``topology`` — generate (or load) an internetwork and describe it;
+* ``trace`` — deploy IPvN in selected ISPs and trace one packet;
+* ``reachability`` — measure universal access over sampled host pairs;
+* ``adoption`` — run the Section 2.1 adoption-dynamics comparison.
+
+Every command is seeded and deterministic; ``--save``/``--load`` move
+topologies through the JSON format in :mod:`repro.net.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.core.evolution import EvolvableInternet
+from repro.core.incentives import compare_access_models
+from repro.net.serialize import load_network, save_network
+from repro.topogen import InternetSpec
+
+
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--tier1", type=int, default=3, help="tier-1 count")
+    parser.add_argument("--tier2", type=int, default=6, help="tier-2 count")
+    parser.add_argument("--stubs", type=int, default=12, help="stub count")
+    parser.add_argument("--hosts", type=int, default=2, help="hosts per stub")
+    parser.add_argument("--load", metavar="FILE",
+                        help="load a topology JSON instead of generating")
+
+
+def _build_internet(args: argparse.Namespace) -> EvolvableInternet:
+    if args.load:
+        return EvolvableInternet(load_network(args.load), seed=args.seed)
+    spec = InternetSpec(n_tier1=args.tier1, n_tier2=args.tier2,
+                        n_stub=args.stubs, hosts_per_stub=args.hosts,
+                        seed=args.seed)
+    return EvolvableInternet.generate(spec, seed=args.seed)
+
+
+def _deploy(internet: EvolvableInternet, args: argparse.Namespace):
+    deployment = internet.new_deployment(version=args.version,
+                                         scheme=args.scheme)
+    adopters = args.deploy
+    if not adopters:
+        adopters = [getattr(deployment.scheme, "default_asn", None)
+                    or internet.tier1_asns()[0]]
+    for asn in adopters:
+        deployment.deploy(asn)
+    deployment.rebuild()
+    return deployment
+
+
+def _add_deploy_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--version", type=int, default=8,
+                        help="IPvN version number (default 8)")
+    parser.add_argument("--scheme", choices=("default", "global"),
+                        default="default", help="anycast scheme")
+    parser.add_argument("--deploy", type=int, nargs="*", metavar="ASN",
+                        help="adopting ASNs (default: the default ISP)")
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    internet = _build_internet(args)
+    stats = internet.network.stats()
+    print(f"domains: {stats['domains']}  routers: {stats['routers']}  "
+          f"hosts: {stats['hosts']}  links: {stats['links']} "
+          f"({stats['inter_domain_links']} inter-domain)")
+    for asn in sorted(internet.network.domains):
+        domain = internet.network.domains[asn]
+        rels = ", ".join(f"AS{n}:{r.value}" for n, r in
+                         sorted(domain.relationships.items()))
+        print(f"  AS{asn} tier{domain.tier} {domain.prefix} "
+              f"routers={len(domain.routers)} hosts={len(domain.hosts)} "
+              f"[{rels}]")
+    if args.save:
+        save_network(internet.network, args.save)
+        print(f"saved topology to {args.save}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    internet = _build_internet(args)
+    deployment = _deploy(internet, args)
+    hosts = internet.hosts()
+    src = args.src or hosts[0]
+    dst = args.dst or hosts[-1]
+    trace = deployment.send(src, dst)
+    print(f"IPv{args.version} {src} -> {dst} via anycast "
+          f"{deployment.scheme.address}:")
+    print(trace)
+    return 0 if trace.delivered else 1
+
+
+def cmd_reachability(args: argparse.Namespace) -> int:
+    internet = _build_internet(args)
+    deployment = _deploy(internet, args)
+    report = internet.reachability(args.version, sample=args.sample,
+                                   seed=args.seed)
+    print(f"adopters: {sorted(deployment.adopting_asns())}")
+    print(f"host pairs attempted: {report.attempted}")
+    print(f"delivered: {report.delivery_ratio:.1%}")
+    if report.mean_stretch is not None:
+        print(f"mean stretch: {report.mean_stretch:.2f}  "
+              f"median: {report.median_stretch:.2f}  "
+              f"max: {report.max_stretch:.2f}")
+    for outcome, count in sorted(report.failures.items()):
+        print(f"failures[{outcome}]: {count}")
+    return 0 if report.delivery_ratio == 1.0 else 1
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import available, describe, run
+
+    if args.list or not args.ids:
+        for experiment_id in available():
+            print(f"{experiment_id:>5}  {describe(experiment_id)}")
+        return 0
+    for experiment_id in args.ids:
+        result = run(experiment_id)
+        print(result.table())
+        print()
+    return 0
+
+
+def cmd_adoption(args: argparse.Namespace) -> int:
+    print(f"{'seed':>5} {'UA share':>9} {'walled share':>13}")
+    for seed in range(args.seeds):
+        result = compare_access_models(n_isps=args.isps, rounds=args.rounds,
+                                       seed=seed)
+        ua = result["universal_access"].final_share()
+        wg = result["walled_garden"].final_share()
+        print(f"{seed:>5} {ua:>9.0%} {wg:>13.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards an Evolvable Internet "
+                    "Architecture' (SIGCOMM 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topology", help="generate/describe a topology")
+    _add_topology_options(p_topo)
+    p_topo.add_argument("--save", metavar="FILE", help="save topology JSON")
+    p_topo.set_defaults(func=cmd_topology)
+
+    p_trace = sub.add_parser("trace", help="trace one IPvN packet")
+    _add_topology_options(p_trace)
+    _add_deploy_options(p_trace)
+    p_trace.add_argument("--src", help="source host id")
+    p_trace.add_argument("--dst", help="destination host id")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_reach = sub.add_parser("reachability",
+                             help="measure IPvN universal access")
+    _add_topology_options(p_reach)
+    _add_deploy_options(p_reach)
+    p_reach.add_argument("--sample", type=int, default=100,
+                         help="host pairs to sample")
+    p_reach.set_defaults(func=cmd_reachability)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run reproduced experiments by id")
+    p_exp.add_argument("ids", nargs="*", metavar="ID",
+                       help="experiment ids (e.g. F1 E5 E12a); empty lists "
+                            "the registry")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list available experiments")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_adopt = sub.add_parser("adoption",
+                             help="run the adoption-dynamics comparison")
+    p_adopt.add_argument("--seeds", type=int, default=5)
+    p_adopt.add_argument("--isps", type=int, default=30)
+    p_adopt.add_argument("--rounds", type=int, default=80)
+    p_adopt.set_defaults(func=cmd_adoption)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Metrics for the paper's experiments.
+
+Everything here is computed from real forwarding traces and converged
+control-plane state — no oracles on the measurement path (oracles are
+used only as *denominators*, e.g. the true shortest path for stretch).
+
+The vocabulary mirrors the evaluation axes in DESIGN.md:
+
+* **stretch** — trace path cost over the direct IPv4 shortest-path cost
+  between the endpoints (how much the anycast + vN-Bone detour costs);
+* **vN coverage / v(N-1) tail** — how much of a delivery the vN-Bone
+  carried vs. how far the packet traveled as plain IPv(N-1) after its
+  egress (Figure 3's quality axis);
+* **universal access** — fraction of IPvN-aware host pairs that can
+  communicate (the paper's central requirement);
+* **routing state** — per-AS BGP table growth (the option 1 vs 2 vs
+  GIA scalability comparison).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.forwarding import ForwardingTrace, Outcome
+from repro.net.network import Network
+
+
+def trace_path_cost(network: Network, trace: ForwardingTrace) -> float:
+    """Sum of link costs along the trace's node path."""
+    path = trace.node_path()
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        link = network.link_between(a, b)
+        if link is not None:
+            total += link.cost
+    return total
+
+
+def path_stretch(network: Network, trace: ForwardingTrace, src: str,
+                 dst: str) -> Optional[float]:
+    """Trace cost / direct shortest-path cost; None if undeliverable."""
+    if not trace.delivered:
+        return None
+    direct = network.shortest_path(src, dst)
+    if direct is None:
+        return None
+    optimal, _ = direct
+    if optimal == 0.0:
+        return 1.0
+    return trace_path_cost(network, trace) / optimal
+
+
+def vn_tail_length(network: Network, trace: ForwardingTrace) -> Optional[int]:
+    """Physical hops traveled *after* the packet left the vN-Bone.
+
+    The quantity Figure 3 minimizes: a better egress choice shortens
+    the plain-IPv(N-1) tail.  None when the packet never rode the
+    vN-Bone or was not delivered.
+    """
+    if not trace.delivered or trace.egress_router is None:
+        return None
+    hops = 0
+    seen_egress = False
+    for record in trace.hops:
+        if record.node_id == trace.egress_router and record.action == "vn-egress":
+            seen_egress = True
+            continue
+        if seen_egress and record.action == "ipv4-forward":
+            hops += 1
+    return hops
+
+
+def vn_coverage(trace: ForwardingTrace) -> Optional[float]:
+    """Fraction of physical forwarding hops spent inside the vN-Bone.
+
+    A hop counts as "inside" while the packet is in a vN-Bone tunnel —
+    between a ``vn-forward`` and the next decapsulation.  Hops after a
+    ``vn-egress`` (the IPv(N-1) tail) are outside, even though the
+    packet is still encapsulated.
+    """
+    if trace.physical_hops == 0:
+        return None
+    inside = 0
+    in_tunnel = False
+    for record in trace.hops:
+        if record.action == "vn-forward":
+            in_tunnel = True
+        elif record.action in ("decap", "vn-egress", "deliver", "vn-deliver"):
+            in_tunnel = False
+        elif record.action == "ipv4-forward" and in_tunnel:
+            inside += 1
+    return inside / trace.physical_hops
+
+
+def last_vn_domain(network: Network, trace: ForwardingTrace) -> Optional[int]:
+    """The domain of the last IPvN router that handled the packet."""
+    if trace.last_vn_node is None:
+        return None
+    return network.node(trace.last_vn_node).domain_id
+
+
+@dataclass
+class ReachabilityReport:
+    """Outcome counts over a set of (src, dst) delivery attempts."""
+
+    attempted: int = 0
+    delivered: int = 0
+    failures: Dict[str, int] = field(default_factory=dict)
+    stretches: List[float] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+    @property
+    def mean_stretch(self) -> Optional[float]:
+        return statistics.fmean(self.stretches) if self.stretches else None
+
+    @property
+    def median_stretch(self) -> Optional[float]:
+        return statistics.median(self.stretches) if self.stretches else None
+
+    @property
+    def max_stretch(self) -> Optional[float]:
+        return max(self.stretches) if self.stretches else None
+
+    def record(self, network: Network, trace: ForwardingTrace, src: str,
+               dst: str) -> None:
+        self.attempted += 1
+        if trace.delivered:
+            self.delivered += 1
+            stretch = path_stretch(network, trace, src, dst)
+            if stretch is not None:
+                self.stretches.append(stretch)
+        else:
+            key = trace.outcome.value
+            self.failures[key] = self.failures.get(key, 0) + 1
+
+
+def measure_reachability(network: Network, send, pairs: Iterable[Tuple[str, str]]
+                         ) -> ReachabilityReport:
+    """Run *send(src, dst) -> trace* over *pairs* and aggregate."""
+    report = ReachabilityReport()
+    for src, dst in pairs:
+        trace = send(src, dst)
+        report.record(network, trace, src, dst)
+    return report
+
+
+def routing_state_table(route_counts: Dict[int, int]) -> Dict[str, float]:
+    """Summary statistics over per-AS routing-state counts (E5 rows)."""
+    values = list(route_counts.values())
+    if not values:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0}
+    return {"total": float(sum(values)),
+            "mean": float(statistics.fmean(values)),
+            "max": float(max(values))}
+
+
+def traffic_share(network: Network, traces: Sequence[ForwardingTrace],
+                  asn: int) -> float:
+    """Fraction of delivered traces whose anycast ingress is in *asn*.
+
+    The "default provider receives a larger than normal share" metric
+    of Section 3.2, option 2.
+    """
+    delivered = [t for t in traces if t.delivered and t.ingress_router is not None]
+    if not delivered:
+        return 0.0
+    hits = sum(1 for t in delivered
+               if network.node(t.ingress_router).domain_id == asn)
+    return hits / len(delivered)
+
+
+def outcome_histogram(traces: Sequence[ForwardingTrace]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for trace in traces:
+        counts[trace.outcome.value] = counts.get(trace.outcome.value, 0) + 1
+    return counts
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/median/max of a metric series (bench table helper)."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0, "n": 0.0}
+    return {"min": float(min(values)), "mean": float(statistics.fmean(values)),
+            "median": float(statistics.median(values)),
+            "max": float(max(values)), "n": float(len(values))}

@@ -1,0 +1,119 @@
+"""The routing orchestrator: one object that owns all control planes.
+
+``Orchestrator`` wires together, over a single deterministic event
+scheduler:
+
+* one IGP instance per domain (link-state by default, distance-vector
+  per domain on request — the paper treats both, Section 3.2),
+* one BGP protocol spanning all domains,
+* the forwarding engine.
+
+``converge()`` runs everything to quiescence and installs forwarding
+state in dependency order: IGPs first (BGP's hot-potato installation
+needs IGP routes to border loopbacks), then BGP.  Deployment actions
+(anycast advertisements, new originations, peering agreements) call
+``reconverge()`` afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.errors import RoutingError
+from repro.net.forwarding import ForwardingEngine, ForwardingTrace
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.simulator import EventScheduler
+from repro.bgp.policy import BgpPolicy, BilateralAgreements
+from repro.bgp.protocol import BgpProtocol
+from repro.routing.distancevector import DistanceVectorRouting
+from repro.routing.igp import IgpProtocol
+from repro.routing.linkstate import LinkStateRouting
+
+IGP_KINDS = ("linkstate", "distancevector")
+
+
+class Orchestrator:
+    """Owns and sequences every control-plane protocol of one internetwork."""
+
+    def __init__(self, network: Network, seed: int = 0,
+                 igp_kind: str = "linkstate",
+                 igp_overrides: Optional[Dict[int, str]] = None,
+                 policy: Optional[BgpPolicy] = None) -> None:
+        if igp_kind not in IGP_KINDS:
+            raise RoutingError(f"unknown IGP kind {igp_kind!r}; choose from {IGP_KINDS}")
+        self.network = network
+        self.scheduler = EventScheduler(seed=seed)
+        self.policy = policy if policy is not None else BgpPolicy()
+        self.bgp = BgpProtocol(network, self.scheduler, policy=self.policy)
+        self.engine = ForwardingEngine(network)
+        self.igps: Dict[int, IgpProtocol] = {}
+        overrides = igp_overrides or {}
+        for asn, domain in sorted(network.domains.items()):
+            kind = overrides.get(asn, igp_kind)
+            if kind not in IGP_KINDS:
+                raise RoutingError(f"unknown IGP kind {kind!r} for AS{asn}")
+            cls = LinkStateRouting if kind == "linkstate" else DistanceVectorRouting
+            self.igps[asn] = cls(network, domain, self.scheduler)
+        self._converged = False
+
+    @property
+    def agreements(self) -> BilateralAgreements:
+        return self.policy.agreements
+
+    def igp(self, asn: int) -> IgpProtocol:
+        try:
+            return self.igps[asn]
+        except KeyError:
+            raise RoutingError(f"no IGP for AS{asn}") from None
+
+    # -- convergence -------------------------------------------------------------
+    def converge(self, max_events: int = 5_000_000) -> int:
+        """Run all protocols to quiescence and install forwarding state."""
+        processed = 0
+        for asn in sorted(self.igps):
+            igp = self.igps[asn]
+            if not igp._started:  # noqa: SLF001 - orchestrator owns lifecycle
+                igp.start()
+        processed += self.scheduler.run_until_idle(max_events=max_events)
+        for asn in sorted(self.igps):
+            self.igps[asn].install_routes()
+        self.bgp.start()
+        processed += self.scheduler.run_until_idle(max_events=max_events)
+        self.bgp.install_routes()
+        self._converged = True
+        return processed
+
+    def reconverge(self, max_events: int = 5_000_000) -> int:
+        """Re-run protocols after a control-plane change.
+
+        IGP refreshes are triggered by the protocols themselves when
+        anycast advertisements change; BGP propagation is triggered by
+        origination calls.  This drains whatever is pending and
+        reinstalls in order.
+        """
+        if not self._converged:
+            return self.converge(max_events=max_events)
+        for asn in sorted(self.igps):
+            self.igps[asn].refresh()
+        # Tear down BGP sessions whose physical links vanished; the
+        # flush propagates withdrawals/alternatives through the mesh.
+        self.bgp.resync_sessions()
+        processed = self.scheduler.run_until_idle(max_events=max_events)
+        for asn in sorted(self.igps):
+            self.igps[asn].install_routes()
+        self.bgp.install_routes()
+        return processed
+
+    # -- convenience -----------------------------------------------------------------
+    def forward(self, packet: Packet, start: str, strict: bool = False) -> ForwardingTrace:
+        """Send *packet* from node *start* through the converged data plane."""
+        if not self._converged:
+            raise RoutingError("converge() before forwarding packets")
+        return self.engine.forward(packet, start, strict=strict)
+
+    def message_totals(self) -> Dict[str, int]:
+        """Control-plane message counters (experiment E11)."""
+        igp_sent = sum(igp.stats.sent for igp in self.igps.values())
+        return {"igp_messages": igp_sent, "bgp_messages": self.bgp.stats.sent,
+                "events": self.scheduler.events_processed}

@@ -1,0 +1,28 @@
+"""The experiment suite: every reproduced figure and claim, runnable.
+
+Importing this package populates the registry; use::
+
+    from repro.experiments import available, describe, run
+
+    print(available())          # ['E10', 'E11', ..., 'F1', ..., 'F4']
+    result = run("F1")
+    print(result.table())
+"""
+
+from repro.experiments.base import (ExperimentInfo, ExperimentResult,
+                                    available, describe, register, run,
+                                    run_many)
+
+# Importing the modules registers their experiments.
+from repro.experiments import figures  # noqa: F401  (F1-F4)
+from repro.experiments import anycast_claims  # noqa: F401  (E5, E6)
+from repro.experiments import redirection_claims  # noqa: F401  (E7)
+from repro.experiments import incentive_claims  # noqa: F401  (E8, E14)
+from repro.experiments import vnbone_claims  # noqa: F401  (E9a, E9b, E15)
+from repro.experiments import access_claims  # noqa: F401  (E10, E13a, E13b)
+from repro.experiments import igp_claims  # noqa: F401  (E11)
+from repro.experiments import service_claims  # noqa: F401  (E12a/b, E16)
+from repro.experiments import resilience_claims  # noqa: F401  (E17)
+
+__all__ = ["ExperimentInfo", "ExperimentResult", "available", "describe",
+           "register", "run", "run_many"]

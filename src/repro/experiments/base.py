@@ -1,0 +1,95 @@
+"""The experiment registry and result type.
+
+Every reproduced figure and claim is a callable registered here, so the
+full evaluation is available programmatically::
+
+    from repro.experiments import available, run
+
+    for experiment_id in available():
+        result = run(experiment_id)
+        print(result.table())
+
+and from the shell (``python -m repro experiment F1``).  The benchmark
+suite (`benchmarks/`) wraps the same callables with pytest-benchmark
+timing and shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+from repro.net.errors import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table plus its raw data."""
+
+    experiment_id: str
+    title: str
+    header: str
+    rows: List[str]
+    #: Structured per-row data, for assertions and further analysis.
+    data: object
+    footer: str = ""
+
+    def table(self) -> str:
+        lines = [f"== {self.title} ==", self.header, "-" * len(self.header)]
+        lines.extend(self.rows)
+        if self.footer:
+            lines.append(self.footer)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry entry: id, one-line description, runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[], ExperimentResult]
+
+
+_REGISTRY: Dict[str, ExperimentInfo] = {}
+
+
+def register(experiment_id: str, description: str):
+    """Decorator registering an experiment runner under *experiment_id*."""
+
+    def wrap(runner: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ReproError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentInfo(
+            experiment_id=experiment_id, description=description,
+            runner=runner)
+        return runner
+
+    return wrap
+
+
+def available() -> List[str]:
+    """All registered experiment ids, in registration-friendly order."""
+    return sorted(_REGISTRY)
+
+
+def describe(experiment_id: str) -> str:
+    return _info(experiment_id).description
+
+
+def run(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"F1"``, ``"E5"``, ``"E12a"``)."""
+    return _info(experiment_id).runner()
+
+
+def run_many(experiment_ids: Iterable[str]) -> List[ExperimentResult]:
+    return [run(experiment_id) for experiment_id in experiment_ids]
+
+
+def _info(experiment_id: str) -> ExperimentInfo:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(available())}") from None

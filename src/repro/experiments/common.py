@@ -1,0 +1,23 @@
+"""Shared topology builders for the experiment suite."""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import Orchestrator
+from repro.topogen import InternetSpec, generate_internet
+
+
+def converged_internet(spec: InternetSpec):
+    """Generate a tiered internetwork and converge its control planes."""
+    generated = generate_internet(spec)
+    orch = Orchestrator(generated.network, seed=spec.seed)
+    orch.converge()
+    return generated, orch
+
+
+def experiment_spec(seed: int = 0, **overrides) -> InternetSpec:
+    """The default mid-size internetwork used by the sweep experiments."""
+    params = dict(n_tier1=3, n_tier2=6, n_stub=12, routers_tier1=5,
+                  routers_tier2=4, routers_stub=2, hosts_per_stub=2,
+                  seed=seed)
+    params.update(overrides)
+    return InternetSpec(**params)

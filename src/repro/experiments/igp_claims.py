@@ -1,0 +1,73 @@
+"""Experiment E11: cost of the IGP anycast extensions."""
+
+from __future__ import annotations
+
+import random
+
+from repro.net import Domain, EventScheduler, Network, Prefix, ipv4
+from repro.routing.distancevector import DistanceVectorRouting
+from repro.routing.linkstate import LinkStateRouting
+from repro.topogen.intra import random_domain
+from repro.experiments.base import ExperimentResult, register
+
+N_ROUTERS = 24
+GROUP_COUNTS = [0, 1, 4]
+
+
+def _build_domain(seed=41):
+    net = Network()
+    net.add_domain(Domain(asn=1, name="one",
+                          prefix=Prefix.parse("10.1.0.0/16")))
+    random_domain(net, 1, N_ROUTERS, extra_edges=8, rng=random.Random(seed))
+    return net
+
+
+def _run_igp(igp_cls):
+    rows = []
+    for groups in GROUP_COUNTS:
+        net = _build_domain()
+        sched = EventScheduler()
+        igp = igp_cls(net, net.domains[1], sched)
+        routers = sorted(net.domains[1].routers)
+        for index in range(groups):
+            address = ipv4(f"240.0.{index}.1")
+            for member in routers[index::6][:3]:
+                net.node(member).add_local_ipv4(address)
+                igp.advertise_anycast(member, address)
+        igp.converge()
+        cold = igp.stats.sent
+        incremental = 0
+        if groups:
+            address = ipv4("240.0.0.1")
+            joiner = routers[1]
+            before = igp.stats.sent
+            net.node(joiner).add_local_ipv4(address)
+            igp.advertise_anycast(joiner, address)
+            sched.run_until_idle()
+            igp.install_routes()
+            incremental = igp.stats.sent - before
+        rows.append({"groups": groups, "cold": cold,
+                     "incremental": incremental,
+                     "discovery": igp_cls.supports_member_discovery})
+    return rows
+
+
+@register("E11", "IGP message cost of the anycast extensions")
+def run_igp_cost() -> ExperimentResult:
+    data = {"linkstate": _run_igp(LinkStateRouting),
+            "distancevector": _run_igp(DistanceVectorRouting)}
+    ls, dv = data["linkstate"], data["distancevector"]
+    header = (f"{'groups':>6} | {'LS cold':>8} {'LS incr':>8} "
+              f"{'LS disc':>8} | {'DV cold':>8} {'DV incr':>8} "
+              f"{'DV disc':>8}")
+    rows = [f"{l['groups']:>6} | {l['cold']:>8} {l['incremental']:>8} "
+            f"{str(l['discovery']):>8} | {d['cold']:>8} "
+            f"{d['incremental']:>8} {str(d['discovery']):>8}"
+            for l, d in zip(ls, dv)]
+    return ExperimentResult(
+        experiment_id="E11",
+        title=f"E11: IGP message cost of the anycast extension "
+              f"({N_ROUTERS}-router domain)",
+        header=header, rows=rows, data=data,
+        footer="paper: the extension is a small modification; only "
+               "link-state lets IPvN routers discover one another")

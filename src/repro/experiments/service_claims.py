@@ -1,0 +1,138 @@
+"""Experiments E12 and E16: multicast and mobility as IPvN services."""
+
+from __future__ import annotations
+
+from repro.core.evolution import EvolvableInternet
+from repro.core.metrics import path_stretch
+from repro.topogen import InternetSpec
+from repro.vnbone.mobility import MobilityService
+from repro.vnbone.multicast import enable_multicast
+from repro.experiments.base import ExperimentResult, register
+
+E12_GROUP_SIZES = [2, 4, 8, 16]
+E16_MOVES = 4
+
+
+def _multicast_internet(n_adopters):
+    internet = EvolvableInternet.generate(
+        InternetSpec(n_tier1=3, n_tier2=6, n_stub=12, hosts_per_stub=2,
+                     seed=77))
+    deployment = internet.new_deployment(version=8, scheme="default")
+    order = [deployment.scheme.default_asn] + [
+        asn for asn in sorted(internet.network.domains)
+        if asn != deployment.scheme.default_asn]
+    for asn in order[:n_adopters]:
+        deployment.deploy(asn)
+    deployment.rebuild()
+    return internet, deployment, enable_multicast(deployment)
+
+
+@register("E12a", "multicast-over-IPvN vs unicast fan-out")
+def run_multicast_efficiency() -> ExperimentResult:
+    internet, deployment, service = _multicast_internet(n_adopters=4)
+    hosts = internet.hosts()
+    src = hosts[0]
+    data = []
+    for size in E12_GROUP_SIZES:
+        group = service.create_group()
+        receivers = hosts[1:1 + size]
+        for host in receivers:
+            service.join(group, host)
+        service.rebuild()
+        trace = service.send(src, group)
+        unicast_cost, unicast_stress = service.unicast_equivalent_cost(
+            src, group)
+        data.append({
+            "receivers": size,
+            "reached": len(trace.delivered_to & set(receivers)),
+            "mcast_cost": trace.transmissions,
+            "unicast_cost": unicast_cost,
+            "ratio": unicast_cost / trace.transmissions,
+            "mcast_stress": trace.max_link_stress,
+            "unicast_stress": unicast_stress,
+        })
+    header = (f"{'receivers':>9} {'reached':>8} {'mcast cost':>10} "
+              f"{'unicast cost':>13} {'ratio':>6} {'mcast stress':>13} "
+              f"{'ucast stress':>13}")
+    rows = [f"{r['receivers']:>9} {r['reached']:>8} {r['mcast_cost']:>10} "
+            f"{r['unicast_cost']:>13} {r['ratio']:>6.2f} "
+            f"{r['mcast_stress']:>13} {r['unicast_stress']:>13}"
+            for r in data]
+    return ExperimentResult(
+        experiment_id="E12a",
+        title="E12a: multicast-over-IPvN vs unicast fan-out "
+              "(4 adopting ISPs)",
+        header=header, rows=rows, data=data,
+        footer="extension: the service multicast never delivered, running "
+               "over the paper's evolution machinery")
+
+
+@register("E12b", "multicast universal access vs adopting ISPs")
+def run_multicast_access() -> ExperimentResult:
+    data = []
+    for n_adopters in (1, 3, 6):
+        internet, deployment, service = _multicast_internet(n_adopters)
+        hosts = internet.hosts()
+        group = service.create_group()
+        receivers = hosts[1:9]
+        for host in receivers:
+            service.join(group, host)
+        service.rebuild()
+        trace = service.send(hosts[0], group)
+        data.append({"adopters": n_adopters,
+                     "reached": len(trace.delivered_to & set(receivers)),
+                     "expected": len(receivers),
+                     "cost": trace.transmissions})
+    header = (f"{'adopters':>8} {'receivers reached':>18} "
+              f"{'tree cost':>10}")
+    rows = [f"{r['adopters']:>8} {r['reached']:>9}/{r['expected']:<8} "
+            f"{r['cost']:>10}" for r in data]
+    return ExperimentResult(
+        experiment_id="E12b",
+        title="E12b: multicast universal access vs adopting ISPs",
+        header=header, rows=rows, data=data,
+        footer="one adopting ISP suffices for every host to source and "
+               "receive — the access multicast historically lacked")
+
+
+@register("E16", "host mobility: identity survives, locator dies")
+def run_mobility() -> ExperimentResult:
+    internet = EvolvableInternet.generate(
+        InternetSpec(n_tier1=2, n_tier2=4, n_stub=8, hosts_per_stub=1,
+                     seed=93), seed=93)
+    deployment = internet.new_deployment(version=8, scheme="default")
+    deployment.deploy(deployment.scheme.default_asn)
+    deployment.rebuild()
+    mobility = MobilityService(deployment)
+    mobile = internet.hosts()[0]
+    corr = internet.hosts()[-1]
+    mobility.enable(mobile)
+    data = []
+    homes = [asn for asn in internet.stub_asns()
+             if asn != internet.network.node(mobile).domain_id][:E16_MOVES]
+    for index, asn in enumerate(homes, start=1):
+        access = sorted(internet.network.domains[asn].routers)[0]
+        record = mobility.move(mobile, asn, access)
+        vn_trace = mobility.reach(corr, mobile)
+        ipv4_trace = mobility.ipv4_reach_old_locator(corr, record)
+        stretch = path_stretch(internet.network, vn_trace, corr, mobile)
+        data.append({
+            "move": index,
+            "new_home": asn,
+            "vn_reaches": vn_trace.delivered
+            and vn_trace.delivered_to == mobile,
+            "ipv4_old_locator": (ipv4_trace.delivered
+                                 and ipv4_trace.delivered_to == mobile),
+            "stretch": stretch,
+        })
+    header = (f"{'move':>4} {'new home':>9} {'IPvN reaches identity':>22} "
+              f"{'IPv4 to old locator':>20} {'stretch':>8}")
+    rows = [f"{r['move']:>4} {'AS' + str(r['new_home']):>9} "
+            f"{str(r['vn_reaches']):>22} {str(r['ipv4_old_locator']):>20} "
+            f"{r['stretch']:>8.2f}" for r in data]
+    return ExperimentResult(
+        experiment_id="E16",
+        title="E16: host mobility — identity survives, locator dies",
+        header=header, rows=rows, data=data,
+        footer="extension: identity/locator split via pinned IPvN "
+               "addresses and anycast re-registration")

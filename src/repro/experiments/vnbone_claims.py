@@ -1,0 +1,132 @@
+"""Experiments E9 and E15: vN-Bone construction and routing ablations."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.anycast import DefaultRootedAnycast
+from repro.core.evolution import EvolvableInternet
+from repro.core.metrics import measure_reachability
+from repro.topogen import InternetSpec
+from repro.vnbone import VnDeployment
+from repro.experiments.base import ExperimentResult, register
+
+E15_ADOPTION_LEVELS = [2, 4, 7]
+
+
+def vn_connected(deployment) -> bool:
+    members = sorted(deployment.members())
+    if len(members) <= 1:
+        return True
+    reachable = deployment.routing.reachable_members(members[0])
+    return reachable == set(members)
+
+
+@register("E9a", "vN-Bone construction vs k (mixed LS/DV domains)")
+def run_k_sweep() -> ExperimentResult:
+    data = []
+    for k in (1, 2, 3):
+        internet = EvolvableInternet.generate(
+            InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=31),
+            igp_overrides={2: "distancevector", 5: "distancevector"})
+        deployment = internet.new_deployment(version=8, scheme="default",
+                                             k_neighbors=k)
+        for asn in [deployment.scheme.default_asn, 2, 5,
+                    internet.stub_asns()[0]]:
+            deployment.deploy(asn)
+        deployment.rebuild()
+        tunnels = deployment.tunnels
+        repairs = sum(1 for t in tunnels if t.kind == "repair")
+        bootstraps = sum(1 for t in tunnels if t.kind.startswith("bootstrap"))
+        data.append({"k": k, "tunnels": len(tunnels), "repairs": repairs,
+                     "bootstraps": bootstraps,
+                     "connected": vn_connected(deployment)})
+    header = (f"{'k':>2} {'tunnels':>8} {'repairs':>8} {'bootstraps':>11} "
+              f"{'connected':>10}")
+    rows = [f"{r['k']:>2} {r['tunnels']:>8} {r['repairs']:>8} "
+            f"{r['bootstraps']:>11} {str(r['connected']):>10}" for r in data]
+    return ExperimentResult(
+        experiment_id="E9a",
+        title="E9a: vN-Bone construction vs k (mixed LS/DV domains)",
+        header=header, rows=rows, data=data,
+        footer="paper: partitions are detected and repaired; DV domains "
+               "bootstrap via anycast")
+
+
+@register("E9b", "vN-Bone congruence with the physical topology")
+def run_congruence() -> ExperimentResult:
+    internet = EvolvableInternet.generate(
+        InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=32))
+    deployment = internet.new_deployment(version=8, scheme="default")
+    # Adoption order chosen to start sparse/disconnected: stubs first.
+    order = ([deployment.scheme.default_asn] + internet.stub_asns()[:4]
+             + [asn for asn, d in internet.network.domains.items()
+                if d.tier == 2][:4] + internet.tier1_asns()[1:])
+    data = []
+    for step, asn in enumerate(order, start=1):
+        deployment.deploy(asn)
+        deployment.rebuild()
+        report = deployment.topology.congruence(deployment.tunnels)
+        data.append({"step": step, "adopters": step,
+                     "congruent": report["inter_congruent_fraction"],
+                     "mean_cost": report["mean_tunnel_cost"],
+                     "connected": vn_connected(deployment)})
+    header = (f"{'adopters':>8} {'congruent inter-tunnels':>24} "
+              f"{'mean tunnel cost':>17} {'connected':>10}")
+    rows = [f"{r['adopters']:>8} {r['congruent']:>24.0%} "
+            f"{r['mean_cost']:>17.1f} {str(r['connected']):>10}"
+            for r in data]
+    return ExperimentResult(
+        experiment_id="E9b",
+        title="E9b: vN-Bone congruence with the physical topology vs "
+              "adoption",
+        header=header, rows=rows, data=data,
+        footer="paper: the vN-Bone evolves to be congruent with the "
+               "underlying topology as deployment spreads")
+
+
+def _run_mode(mode, version, n_adopters, internet):
+    adopters = ([internet.tier1_asns()[0]]
+                + [asn for asn in sorted(internet.network.domains)
+                   if asn != internet.tier1_asns()[0]])[:n_adopters]
+    scheme = DefaultRootedAnycast(internet.orchestrator,
+                                  f"{mode}-{version}",
+                                  default_asn=adopters[0])
+    deployment = VnDeployment(internet.orchestrator, scheme, version=version,
+                              routing_mode=mode)
+    for asn in adopters:
+        deployment.deploy(asn)
+    deployment.rebuild()
+    pairs = internet.host_pairs(sample=40, seed=4)
+    report = measure_reachability(internet.network, deployment.send, pairs)
+    fib_sizes = list(deployment.vn_fib_sizes().values())
+    return {"delivery": report.delivery_ratio,
+            "stretch": report.mean_stretch,
+            "fib_mean": statistics.fmean(fib_sizes) if fib_sizes else 0.0}
+
+
+@register("E15", "routing ablation: global SPF vs layered BGPvN")
+def run_routing_modes() -> ExperimentResult:
+    data = []
+    version = 8
+    for n_adopters in E15_ADOPTION_LEVELS:
+        internet = EvolvableInternet.generate(
+            InternetSpec(n_tier1=2, n_tier2=4, n_stub=8, hosts_per_stub=2,
+                         seed=37), seed=37)
+        flat = _run_mode("global-spf", version, n_adopters, internet)
+        layered = _run_mode("layered", version + 1, n_adopters, internet)
+        data.append({"adopters": n_adopters, "flat": flat,
+                     "layered": layered})
+    header = (f"{'adopters':>8} | {'spf deliv':>9} {'stretch':>8} "
+              f"{'fib':>6} | {'bgpvn deliv':>11} {'stretch':>8} {'fib':>6}")
+    rows = [f"{r['adopters']:>8} | {r['flat']['delivery']:>9.0%} "
+            f"{r['flat']['stretch']:>8.2f} {r['flat']['fib_mean']:>6.1f} | "
+            f"{r['layered']['delivery']:>11.0%} "
+            f"{r['layered']['stretch']:>8.2f} "
+            f"{r['layered']['fib_mean']:>6.1f}" for r in data]
+    return ExperimentResult(
+        experiment_id="E15",
+        title="E15: vN-Bone routing ablation: global SPF vs layered BGPvN",
+        header=header, rows=rows, data=data,
+        footer="universal access is routing-flavor independent; stretch "
+               "differences are the cost of domain-granularity decisions")

@@ -1,0 +1,212 @@
+"""Addresses and prefixes for IPv4 and next-generation IPvN.
+
+The paper's mechanisms operate on two address families:
+
+* the ubiquitously deployed generation, modeled here as 32-bit IPv4,
+* the next generation ``IPvN`` (the paper's examples use IPv8), modeled
+  as a 64-bit space with a *self-addressing* convention: the top bit set
+  marks an address that an endhost assigned itself by embedding its
+  IPv4 address in the low 32 bits (RFC 3056-style, Section 3.3.2).
+
+Addresses are thin, hashable, totally ordered wrappers around ints so
+they can key dicts and sort deterministically.  Prefixes support
+containment tests and are the keys of the longest-prefix-match tries in
+:mod:`repro.net.trie`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.net.errors import AddressError
+
+IPV4_BITS = 32
+VN_BITS = 64
+
+#: Top bit of a VNAddress marks a self-assigned (RFC3056-style) address.
+SELF_ADDRESS_FLAG = 1 << (VN_BITS - 1)
+
+
+def _check_value(value: int, bits: int) -> int:
+    if not isinstance(value, int):
+        raise AddressError(f"address value must be int, got {type(value).__name__}")
+    if value < 0 or value >= (1 << bits):
+        raise AddressError(f"address value {value:#x} out of range for {bits}-bit family")
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    BITS = IPV4_BITS
+
+    def __post_init__(self) -> None:
+        _check_value(self.value, IPV4_BITS)
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"10.0.0.1"``."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise AddressError(f"malformed IPv4 address {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return ".".join(str(o) for o in octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+
+@dataclass(frozen=True, order=True)
+class VNAddress:
+    """An IPvN (next-generation) address: a 64-bit value plus a version tag.
+
+    The version tag (e.g. 8 for the paper's IPv8) is carried for clarity
+    in traces but does not participate in ordering beyond the value; a
+    simulation runs one vN-Bone per version, so addresses of different
+    versions never share a routing table.
+    """
+
+    value: int
+    version: int = 8
+
+    BITS = VN_BITS
+
+    def __post_init__(self) -> None:
+        _check_value(self.value, VN_BITS)
+        if self.version < 5:
+            raise AddressError(f"IPvN version must be >= 5, got {self.version}")
+
+    @property
+    def is_self_assigned(self) -> bool:
+        """True for a temporary self-assigned address (top bit set)."""
+        return bool(self.value & SELF_ADDRESS_FLAG)
+
+    @classmethod
+    def self_assigned(cls, ipv4: IPv4Address, version: int = 8) -> "VNAddress":
+        """Derive a temporary IPvN address from an IPv4 address.
+
+        Following Section 3.3.2: one address bit indicates self
+        addressing and the remaining bits are derived from the host's
+        unique IPv(N-1) address.
+        """
+        return cls(SELF_ADDRESS_FLAG | ipv4.value, version=version)
+
+    def embedded_ipv4(self) -> IPv4Address:
+        """Recover the IPv4 address embedded in a self-assigned address."""
+        if not self.is_self_assigned:
+            raise AddressError(f"{self} is not self-assigned; no embedded IPv4 address")
+        return IPv4Address(self.value & 0xFFFF_FFFF)
+
+    def __str__(self) -> str:
+        tag = "self" if self.is_self_assigned else "native"
+        return f"v{self.version}:{self.value:016x}/{tag}"
+
+    def __repr__(self) -> str:
+        return f"VNAddress({self.value:#x}, version={self.version})"
+
+
+Address = Union[IPv4Address, VNAddress]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix over either address family.
+
+    The family is implied by the wrapped address type.  The network
+    address is canonicalized (host bits zeroed) at construction.
+    """
+
+    address: Address
+    plen: int
+
+    def __post_init__(self) -> None:
+        bits = self.address.BITS
+        if not 0 <= self.plen <= bits:
+            raise AddressError(f"prefix length {self.plen} out of range for {bits}-bit family")
+        masked = self.address.value & self.mask()
+        if masked != self.address.value:
+            object.__setattr__(self, "address", type(self.address)(masked) if isinstance(
+                self.address, IPv4Address) else VNAddress(masked, version=self.address.version))
+
+    @property
+    def bits(self) -> int:
+        """Width of the address family in bits."""
+        return self.address.BITS
+
+    def mask(self) -> int:
+        """The network mask as an int."""
+        bits = self.address.BITS
+        if self.plen == 0:
+            return 0
+        return ((1 << self.plen) - 1) << (bits - self.plen)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.0.0.0/8"`` (IPv4 only; VN prefixes are built directly)."""
+        addr_text, _, plen_text = text.partition("/")
+        if not plen_text:
+            raise AddressError(f"prefix {text!r} missing /len")
+        try:
+            plen = int(plen_text)
+        except ValueError as exc:
+            raise AddressError(f"malformed prefix length in {text!r}") from exc
+        return cls(IPv4Address.parse(addr_text), plen)
+
+    @classmethod
+    def host(cls, address: Address) -> "Prefix":
+        """The host route (/32 or /64) for *address*."""
+        return cls(address, address.BITS)
+
+    def contains(self, item: Union[Address, "Prefix"]) -> bool:
+        """Whether *item* (an address or a more-specific prefix) falls inside."""
+        if isinstance(item, Prefix):
+            if type(item.address) is not type(self.address):
+                return False
+            if item.plen < self.plen:
+                return False
+            value = item.address.value
+        else:
+            if type(item) is not type(self.address):
+                return False
+            value = item.value
+        return (value & self.mask()) == self.address.value
+
+    def key_bits(self) -> Iterator[int]:
+        """The prefix's bits, most significant first (trie key)."""
+        bits = self.address.BITS
+        for i in range(self.plen):
+            yield (self.address.value >> (bits - 1 - i)) & 1
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.plen}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+
+def ipv4(text_or_value: Union[str, int]) -> IPv4Address:
+    """Convenience constructor: ``ipv4("10.0.0.1")`` or ``ipv4(0x0a000001)``."""
+    if isinstance(text_or_value, str):
+        return IPv4Address.parse(text_or_value)
+    return IPv4Address(text_or_value)
+
+
+def prefix(text: str) -> Prefix:
+    """Convenience constructor: ``prefix("10.0.0.0/8")``."""
+    return Prefix.parse(text)

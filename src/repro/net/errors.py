@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An address or prefix was malformed or out of range."""
+
+
+class TopologyError(ReproError):
+    """The network topology is inconsistent (unknown node, duplicate link...)."""
+
+
+class ForwardingError(ReproError):
+    """A packet could not be forwarded (no route, TTL expired, loop...)."""
+
+
+class NoRouteError(ForwardingError):
+    """No FIB entry matched the packet's destination."""
+
+    def __init__(self, node_id: str, destination: object) -> None:
+        super().__init__(f"no route at {node_id!r} for destination {destination}")
+        self.node_id = node_id
+        self.destination = destination
+
+
+class TTLExpiredError(ForwardingError):
+    """The packet's TTL reached zero before delivery."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"TTL expired at {node_id!r}")
+        self.node_id = node_id
+
+
+class ForwardingLoopError(ForwardingError):
+    """The forwarding engine detected a persistent loop."""
+
+
+class RoutingError(ReproError):
+    """A routing protocol was misconfigured or reached an invalid state."""
+
+
+class ConvergenceError(RoutingError):
+    """A protocol failed to converge within its allotted event budget."""
+
+
+class DeploymentError(ReproError):
+    """An IPvN deployment action was invalid (unknown domain, re-deploy...)."""
+
+
+class RedirectionError(ReproError):
+    """A redirection service could not answer a query."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""

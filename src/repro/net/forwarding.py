@@ -1,0 +1,423 @@
+"""The hop-by-hop forwarding engine.
+
+This walks a packet through the network exactly the way the paper's
+data plane works:
+
+1. Plain IPv4 forwarding by longest-prefix match at every router.
+2. Local delivery when a node *accepts* the outer destination — which
+   is how anycast delivery happens: every IPvN router accepts the
+   deployment's anycast address, so whichever IPvN router the unicast
+   routing reaches first strips the outer header (Section 3.1).
+3. After decapsulation, an IPvN header is handed to the node's *vN
+   handler* (installed by :mod:`repro.vnbone`).  The handler decides to
+   deliver, forward to a vN-Bone neighbor (the engine re-encapsulates
+   in IPv4 towards that neighbor — a vN-Bone tunnel), or exit the
+   vN-Bone towards an IPv4 destination (Section 3.4).
+
+The engine never raises on routing failures during an experiment run:
+it returns a :class:`ForwardingTrace` whose :class:`Outcome` and hop
+records the experiments inspect.  Pass ``strict=True`` to raise
+instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.net.address import IPv4Address
+from repro.net.errors import (ForwardingLoopError, NoRouteError, TTLExpiredError)
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import IPv4Header, Packet, VNHeader
+
+DEFAULT_MAX_STEPS = 4096
+
+
+class Outcome(Enum):
+    """Terminal state of a forwarding walk."""
+
+    DELIVERED = "delivered"
+    NO_ROUTE = "no-route"
+    TTL_EXPIRED = "ttl-expired"
+    LOOP = "loop"
+    NO_VN_HANDLER = "no-vn-handler"
+    DROPPED = "dropped"
+    #: The branch ended by forking into copies (multicast walks only).
+    REPLICATED = "replicated"
+
+
+# -- vN handler protocol -----------------------------------------------------
+
+@dataclass(frozen=True)
+class VnDeliver:
+    """The IPvN destination is this node."""
+
+
+@dataclass(frozen=True)
+class VnForward:
+    """Tunnel the packet to a vN-Bone neighbor (IPv4 encapsulation)."""
+
+    next_vn_hop: str
+
+
+@dataclass(frozen=True)
+class VnEgress:
+    """Exit the vN-Bone: send the IPvN packet inside IPv4 to *ipv4_dst*."""
+
+    ipv4_dst: IPv4Address
+
+
+@dataclass(frozen=True)
+class VnDrop:
+    """Drop the packet (no vN route, policy, ...)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class VnEncap:
+    """Push another IPvN header (vN-in-vN tunnel, e.g. multicast
+    register towards the group core) and keep processing here."""
+
+    header: "object"  # a VNHeader; typed loosely to avoid an import cycle
+
+
+@dataclass(frozen=True)
+class VnReplicate:
+    """Fork the packet into several copies (multicast distribution).
+
+    ``mark_downstream`` stamps the copies' IPvN header with the
+    distribution flag (done once, by the group's core).  Only the
+    multicast walk (:meth:`ForwardingEngine.forward_multicast`) accepts
+    this decision; the unicast walk treats it as a drop.
+    """
+
+    copies: Tuple[Union[VnForward, VnEgress], ...]
+    mark_downstream: bool = False
+
+
+VnDecision = Union[VnDeliver, VnForward, VnEgress, VnDrop, VnEncap, VnReplicate]
+VnHandler = Callable[[Node, Packet], VnDecision]
+
+
+@dataclass
+class HopRecord:
+    """One step of the walk, for inspection and pretty traces."""
+
+    node_id: str
+    domain_id: int
+    action: str
+    detail: str = ""
+    depth: int = 1
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}"
+
+
+@dataclass
+class ForwardingTrace:
+    """The full record of a packet's journey."""
+
+    outcome: Outcome = Outcome.DROPPED
+    hops: List[HopRecord] = field(default_factory=list)
+    delivered_to: Optional[str] = None
+    physical_hops: int = 0
+    vn_hops: int = 0
+    encapsulations: int = 0
+    decapsulations: int = 0
+    #: First IPvN router that accepted the packet (anycast ingress).
+    ingress_router: Optional[str] = None
+    #: Router that exited the vN-Bone towards an IPv4 destination.
+    egress_router: Optional[str] = None
+    #: Last node at which the packet was carried inside the vN-Bone.
+    last_vn_node: Optional[str] = None
+    drop_reason: str = ""
+
+    def record(self, node: Node, action: str, detail: str = "", depth: int = 1) -> None:
+        self.hops.append(HopRecord(node_id=node.node_id, domain_id=node.domain_id,
+                                   action=action, detail=detail, depth=depth))
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome is Outcome.DELIVERED
+
+    def node_path(self) -> List[str]:
+        """Distinct consecutive node ids visited, in order."""
+        path: List[str] = []
+        for hop in self.hops:
+            if not path or path[-1] != hop.node_id:
+                path.append(hop.node_id)
+        return path
+
+    def domain_path(self) -> List[int]:
+        """Distinct consecutive domains traversed, in order."""
+        path: List[int] = []
+        for hop in self.hops:
+            if not path or path[-1] != hop.domain_id:
+                path.append(hop.domain_id)
+        return path
+
+    def __str__(self) -> str:
+        lines = [f"outcome={self.outcome.value} delivered_to={self.delivered_to}"]
+        lines.extend(f"  {hop}" for hop in self.hops)
+        return "\n".join(lines)
+
+
+@dataclass
+class MulticastTrace:
+    """Aggregate record of a multicast delivery (all branches)."""
+
+    branches: List[ForwardingTrace] = field(default_factory=list)
+    delivered_to: Set[str] = field(default_factory=set)
+    transmissions: int = 0
+    link_stress: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    truncated: bool = False
+
+    def add_branch(self, network: Network, branch: ForwardingTrace) -> None:
+        self.branches.append(branch)
+        self.transmissions += branch.physical_hops
+        if branch.delivered and branch.delivered_to is not None:
+            self.delivered_to.add(branch.delivered_to)
+        path = branch.node_path()
+        for a, b in zip(path, path[1:]):
+            link = network.link_between(a, b)
+            if link is None:
+                continue
+            key = link.endpoints()
+            self.link_stress[key] = self.link_stress.get(key, 0) + 1
+
+    @property
+    def max_link_stress(self) -> int:
+        return max(self.link_stress.values()) if self.link_stress else 0
+
+    def delivered_all(self, receivers: Set[str]) -> bool:
+        return receivers <= self.delivered_to
+
+
+class ForwardingEngine:
+    """Walks packets through a :class:`Network`.
+
+    vN handlers are registered per (IPvN version) and consulted for any
+    router whose per-version ``vn_states`` mark it as running that version; the
+    registration is done by :mod:`repro.vnbone` when a deployment is
+    instantiated.
+    """
+
+    def __init__(self, network: Network, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.network = network
+        self.max_steps = max_steps
+        self._vn_handlers: Dict[int, VnHandler] = {}
+
+    def register_vn_handler(self, version: int, handler: VnHandler) -> None:
+        """Install the forwarding logic for IPvN *version* routers."""
+        self._vn_handlers[version] = handler
+
+    def vn_handler(self, version: int) -> Optional[VnHandler]:
+        return self._vn_handlers.get(version)
+
+    # -- the walk -----------------------------------------------------------
+    def forward(self, packet: Packet, start: str, strict: bool = False) -> ForwardingTrace:
+        """Run *packet* from node *start* until a terminal outcome."""
+        trace = ForwardingTrace()
+        self._walk(packet, self.network.node(start), trace, strict, None)
+        return trace
+
+    def forward_multicast(self, packet: Packet, start: str) -> "MulticastTrace":
+        """Run a multicast packet, following every replication branch.
+
+        Each fork (a :class:`VnReplicate` decision) spawns independent
+        branch walks; the returned :class:`MulticastTrace` aggregates
+        deliveries, total transmissions, and per-link stress.
+        """
+        mtrace = MulticastTrace()
+        queue: deque = deque([(packet, self.network.node(start))])
+        while queue:
+            if len(mtrace.branches) >= self.max_steps:
+                mtrace.truncated = True
+                break
+            branch_packet, node = queue.popleft()
+            branch = ForwardingTrace()
+            self._walk(branch_packet, node, branch, False, queue)
+            mtrace.add_branch(self.network, branch)
+        return mtrace
+
+    def _walk(self, packet: Packet, node: Node, trace: ForwardingTrace,
+              strict: bool, fork_queue: Optional[deque]) -> None:
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                trace.outcome = Outcome.LOOP
+                trace.drop_reason = f"exceeded {self.max_steps} steps"
+                if strict:
+                    raise ForwardingLoopError(trace.drop_reason)
+                return
+            outer = packet.outer
+            if isinstance(outer, IPv4Header):
+                next_node = self._ipv4_step(node, packet, outer, trace, strict)
+            else:
+                next_node = self._vn_step(node, packet, outer, trace, strict,
+                                          fork_queue)
+            if next_node is None:
+                return
+            node = next_node
+
+    # -- IPv4 ----------------------------------------------------------------
+    def _ipv4_step(self, node: Node, packet: Packet, outer: IPv4Header,
+                   trace: ForwardingTrace, strict: bool) -> Optional[Node]:
+        if node.accepts_ipv4(outer.dst):
+            return self._accept_locally(node, packet, trace)
+        entry = node.fib4.lookup(outer.dst)
+        if entry is None or entry.next_hop is None:
+            trace.outcome = Outcome.NO_ROUTE
+            trace.drop_reason = f"no IPv4 route at {node.node_id} for {outer.dst}"
+            trace.record(node, "drop", trace.drop_reason)
+            if strict:
+                raise NoRouteError(node.node_id, outer.dst)
+            return None
+        if outer.ttl <= 1:
+            trace.outcome = Outcome.TTL_EXPIRED
+            trace.drop_reason = f"IPv4 TTL expired at {node.node_id}"
+            trace.record(node, "drop", trace.drop_reason)
+            if strict:
+                raise TTLExpiredError(node.node_id)
+            return None
+        link = self.network.link_between(node.node_id, entry.next_hop)
+        if link is None or not link.up:
+            trace.outcome = Outcome.NO_ROUTE
+            trace.drop_reason = f"next hop {entry.next_hop} unreachable from {node.node_id}"
+            trace.record(node, "drop", trace.drop_reason)
+            if strict:
+                raise NoRouteError(node.node_id, outer.dst)
+            return None
+        packet.replace_outer(outer.decremented())
+        trace.physical_hops += 1
+        trace.record(node, "ipv4-forward", f"-> {entry.next_hop} ({entry.prefix})",
+                     depth=packet.depth)
+        return self.network.node(entry.next_hop)
+
+    def _accept_locally(self, node: Node, packet: Packet,
+                        trace: ForwardingTrace) -> Optional[Node]:
+        if packet.depth > 1:
+            packet.decapsulate()
+            trace.decapsulations += 1
+            trace.record(node, "decap", f"now {packet.outer}", depth=packet.depth)
+            if isinstance(packet.outer, VNHeader) and node.is_router:
+                if trace.ingress_router is None:
+                    trace.ingress_router = node.node_id
+                trace.last_vn_node = node.node_id
+            return node  # reprocess the inner header at this node
+        trace.outcome = Outcome.DELIVERED
+        trace.delivered_to = node.node_id
+        trace.record(node, "deliver", depth=packet.depth)
+        return None
+
+    # -- IPvN ----------------------------------------------------------------
+    def _vn_step(self, node: Node, packet: Packet, outer: VNHeader,
+                 trace: ForwardingTrace, strict: bool,
+                 fork_queue: Optional[deque] = None) -> Optional[Node]:
+        if node.is_host:
+            host_addr = getattr(node, "vn_addresses", {}).get(outer.version)
+            joined = outer.dst in getattr(node, "vn_groups", set())
+            if host_addr == outer.dst or joined:
+                trace.outcome = Outcome.DELIVERED
+                trace.delivered_to = node.node_id
+                trace.record(node, "vn-deliver", str(outer.dst))
+            else:
+                trace.outcome = Outcome.DROPPED
+                trace.drop_reason = (
+                    f"host {node.node_id} is not IPv{outer.version} {outer.dst}")
+                trace.record(node, "drop", trace.drop_reason)
+            return None
+        handler = self._vn_handlers.get(outer.version)
+        if handler is None or node.vn_state_for(outer.version) is None:
+            trace.outcome = Outcome.NO_VN_HANDLER
+            trace.drop_reason = f"{node.node_id} cannot process IPv{outer.version}"
+            trace.record(node, "drop", trace.drop_reason)
+            return None
+        trace.last_vn_node = node.node_id
+        decision = handler(node, packet)
+        if isinstance(decision, VnDeliver):
+            if packet.depth > 1:
+                # A vN-in-vN tunnel terminating here (e.g. a multicast
+                # register reaching the group core): unwrap and keep going.
+                packet.decapsulate()
+                trace.decapsulations += 1
+                trace.record(node, "vn-decap", f"now {packet.outer}",
+                             depth=packet.depth)
+                return node
+            trace.outcome = Outcome.DELIVERED
+            trace.delivered_to = node.node_id
+            trace.record(node, "vn-deliver", str(outer.dst))
+            return None
+        if isinstance(decision, VnDrop):
+            trace.outcome = Outcome.DROPPED
+            trace.drop_reason = decision.reason
+            trace.record(node, "drop", decision.reason)
+            if strict:
+                raise NoRouteError(node.node_id, outer.dst)
+            return None
+        if outer.ttl <= 1:
+            trace.outcome = Outcome.TTL_EXPIRED
+            trace.drop_reason = f"IPv{outer.version} TTL expired at {node.node_id}"
+            trace.record(node, "drop", trace.drop_reason)
+            if strict:
+                raise TTLExpiredError(node.node_id)
+            return None
+        packet.replace_outer(outer.decremented())
+        if isinstance(decision, VnForward):
+            neighbor = self.network.node(decision.next_vn_hop)
+            packet.encapsulate(IPv4Header(src=node.ipv4, dst=neighbor.ipv4))
+            trace.encapsulations += 1
+            trace.vn_hops += 1
+            trace.record(node, "vn-forward", f"tunnel -> {decision.next_vn_hop}",
+                         depth=packet.depth)
+            return node  # IPv4 forwarding takes it from here
+        if isinstance(decision, VnEncap):
+            assert isinstance(decision.header, VNHeader)
+            packet.encapsulate(decision.header)
+            trace.encapsulations += 1
+            trace.record(node, "vn-encap", f"tunnel {decision.header}",
+                         depth=packet.depth)
+            return node
+        if isinstance(decision, VnReplicate):
+            return self._replicate(node, packet, trace, decision, fork_queue)
+        assert isinstance(decision, VnEgress)
+        packet.encapsulate(IPv4Header(src=node.ipv4, dst=decision.ipv4_dst))
+        trace.encapsulations += 1
+        trace.egress_router = node.node_id
+        trace.record(node, "vn-egress", f"exit vN-Bone -> {decision.ipv4_dst}",
+                     depth=packet.depth)
+        return node
+
+    def _replicate(self, node: Node, packet: Packet, trace: ForwardingTrace,
+                   decision: VnReplicate,
+                   fork_queue: Optional[deque]) -> Optional[Node]:
+        if fork_queue is None:
+            trace.outcome = Outcome.DROPPED
+            trace.drop_reason = (
+                f"replication at {node.node_id} outside a multicast walk")
+            trace.record(node, "drop", trace.drop_reason)
+            return None
+        outer = packet.outer
+        assert isinstance(outer, VNHeader)
+        if decision.mark_downstream:
+            outer = outer.marked_downstream()
+        for copy_decision in decision.copies:
+            copy = packet.copy()
+            copy.replace_outer(outer)
+            if isinstance(copy_decision, VnForward):
+                neighbor = self.network.node(copy_decision.next_vn_hop)
+                copy.encapsulate(IPv4Header(src=node.ipv4, dst=neighbor.ipv4))
+            else:
+                copy.encapsulate(IPv4Header(src=node.ipv4,
+                                            dst=copy_decision.ipv4_dst))
+            fork_queue.append((copy, node))
+        trace.outcome = Outcome.REPLICATED
+        trace.record(node, "vn-replicate",
+                     f"{len(decision.copies)} copies", depth=packet.depth)
+        return None

@@ -1,0 +1,308 @@
+"""The network container: nodes, links, domains, and graph utilities.
+
+:class:`Network` is the single source of truth for topology.  Routing
+protocols read it; the forwarding engine walks it; metrics use its
+ground-truth shortest paths (Dijkstra over live links) to compute
+stretch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.domain import Domain, Relationship
+from repro.net.errors import TopologyError
+from repro.net.link import Link, LinkScope
+from repro.net.node import FibEntry, Host, Node, NodeKind, RouteSource, Router
+
+#: The default route hosts point at their access router.
+DEFAULT_ROUTE = Prefix(IPv4Address(0), 0)
+
+
+class Network:
+    """A two-level internetwork: router-level graphs inside AS-level domains."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.domains: Dict[int, Domain] = {}
+        self._addr_index: Dict[IPv4Address, str] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_domain(self, domain: Domain) -> Domain:
+        if domain.asn in self.domains:
+            raise TopologyError(f"duplicate domain AS{domain.asn}")
+        self.domains[domain.asn] = domain
+        return domain
+
+    def domain_of(self, node_id: str) -> Domain:
+        node = self.node(node_id)
+        return self.domains[node.domain_id]
+
+    def add_router(self, node_id: str, asn: int, is_border: bool = False,
+                   ipv4: Optional[IPv4Address] = None) -> Router:
+        domain = self._require_domain(asn)
+        address = ipv4 if ipv4 is not None else domain.allocate_ipv4()
+        router = Router(node_id=node_id, ipv4=address, domain_id=asn, is_border=is_border)
+        self._register(router)
+        domain.routers.add(node_id)
+        if is_border:
+            domain.border_routers.add(node_id)
+        return router
+
+    def add_host(self, node_id: str, asn: int, access_router: str,
+                 ipv4: Optional[IPv4Address] = None, link_cost: float = 1.0) -> Host:
+        domain = self._require_domain(asn)
+        access = self.node(access_router)
+        if access.domain_id != asn:
+            raise TopologyError(
+                f"host {node_id} in AS{asn} cannot attach to {access_router} in AS{access.domain_id}")
+        address = ipv4 if ipv4 is not None else domain.allocate_ipv4()
+        host = Host(node_id=node_id, ipv4=address, domain_id=asn,
+                    kind=NodeKind.HOST, access_router=access_router)
+        self._register(host)
+        domain.hosts.add(node_id)
+        self.add_link(node_id, access_router, cost=link_cost)
+        # Hosts send everything to their access router.
+        host.fib4.install(FibEntry(prefix=DEFAULT_ROUTE, next_hop=access_router,
+                                   source=RouteSource.STATIC))
+        # The access router reaches the host over the connected link.
+        access.fib4.install(FibEntry(prefix=Prefix.host(host.ipv4), next_hop=node_id,
+                                     source=RouteSource.CONNECTED))
+        return host
+
+    def _require_domain(self, asn: int) -> Domain:
+        if asn not in self.domains:
+            raise TopologyError(f"unknown domain AS{asn}; add_domain first")
+        return self.domains[asn]
+
+    def _register(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise TopologyError(f"duplicate node id {node.node_id!r}")
+        if node.ipv4 in self._addr_index:
+            raise TopologyError(
+                f"address {node.ipv4} already assigned to {self._addr_index[node.ipv4]!r}")
+        self.nodes[node.node_id] = node
+        self._addr_index[node.ipv4] = node.node_id
+
+    def add_link(self, a: str, b: str, cost: float = 1.0, delay: float = 1.0) -> Link:
+        """Connect two nodes.  Scope is derived from the endpoint domains."""
+        node_a, node_b = self.node(a), self.node(b)
+        scope = (LinkScope.INTRA_DOMAIN if node_a.domain_id == node_b.domain_id
+                 else LinkScope.INTER_DOMAIN)
+        link = Link(a=a, b=b, cost=cost, delay=delay, scope=scope)
+        key = link.endpoints()
+        if key in self.links:
+            raise TopologyError(f"parallel link between {a!r} and {b!r}")
+        if scope is LinkScope.INTER_DOMAIN:
+            for node in (node_a, node_b):
+                if node.is_host:
+                    raise TopologyError(f"host {node.node_id} cannot have inter-domain links")
+                if not getattr(node, "is_border", False):
+                    raise TopologyError(
+                        f"inter-domain link endpoint {node.node_id!r} must be a border router")
+        self.links[key] = link
+        node_a.links.append(link)
+        node_b.links.append(link)
+        return link
+
+    def connect_domains(self, asn_a: int, asn_b: int, border_a: str, border_b: str,
+                        rel_a_to_b: Relationship, cost: float = 1.0,
+                        delay: float = 1.0) -> Link:
+        """Create an inter-domain link and record the business relationship.
+
+        ``rel_a_to_b`` is what ``asn_b`` *is to* ``asn_a`` (e.g.
+        ``Relationship.PROVIDER`` means b is a's provider).
+        """
+        link = self.add_link(border_a, border_b, cost=cost, delay=delay)
+        self._require_domain(asn_a).set_relationship(asn_b, rel_a_to_b)
+        self._require_domain(asn_b).set_relationship(asn_a, rel_a_to_b.reverse())
+        return link
+
+    # -- queries ----------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def node_by_ipv4(self, address: IPv4Address) -> Optional[Node]:
+        node_id = self._addr_index.get(address)
+        return self.nodes[node_id] if node_id is not None else None
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        key = (a, b) if a <= b else (b, a)
+        return self.links.get(key)
+
+    def neighbors(self, node_id: str, include_down: bool = False,
+                  scope: Optional[LinkScope] = None) -> List[Tuple[str, Link]]:
+        """(neighbor_id, link) pairs for live links at *node_id*."""
+        node = self.node(node_id)
+        result = []
+        for link in node.links:
+            if not include_down and not link.up:
+                continue
+            if scope is not None and link.scope is not scope:
+                continue
+            result.append((link.other(node_id), link))
+        return result
+
+    def routers(self, asn: Optional[int] = None) -> List[Router]:
+        nodes: Iterable[Node]
+        if asn is None:
+            nodes = self.nodes.values()
+        else:
+            nodes = (self.nodes[nid] for nid in sorted(self._require_domain(asn).routers))
+        return [n for n in nodes if isinstance(n, Router)]
+
+    def hosts(self, asn: Optional[int] = None) -> List[Host]:
+        nodes: Iterable[Node]
+        if asn is None:
+            nodes = self.nodes.values()
+        else:
+            nodes = (self.nodes[nid] for nid in sorted(self._require_domain(asn).hosts))
+        return [n for n in nodes if isinstance(n, Host)]
+
+    # -- ground-truth shortest paths ---------------------------------------
+    def shortest_path(self, src: str, dst: str,
+                      intra_domain_only: bool = False) -> Optional[Tuple[float, List[str]]]:
+        """Dijkstra over live links; returns (cost, node path) or ``None``.
+
+        With ``intra_domain_only`` the search never crosses an
+        inter-domain link (used by IGPs and intra-domain metrics).
+        """
+        if src == dst:
+            return 0.0, [src]
+        self.node(src), self.node(dst)
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            if u == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(prev[path[-1]])
+                path.reverse()
+                return d, path
+            for v, link in self.neighbors(u):
+                if intra_domain_only and link.scope is LinkScope.INTER_DOMAIN:
+                    continue
+                nd = d + link.cost
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return None
+
+    def shortest_path_tree(self, src: str, intra_domain_only: bool = False,
+                           domain: Optional[int] = None) -> Dict[str, Tuple[float, Optional[str]]]:
+        """Full Dijkstra from *src*: node -> (distance, predecessor).
+
+        ``domain`` additionally restricts the traversal to one AS's nodes
+        (used by link-state SPF).
+        """
+        dist: Dict[str, Tuple[float, Optional[str]]] = {src: (0.0, None)}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        settled: Dict[str, float] = {}
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            for v, link in self.neighbors(u):
+                if intra_domain_only and link.scope is LinkScope.INTER_DOMAIN:
+                    continue
+                if domain is not None and self.node(v).domain_id != domain:
+                    continue
+                nd = d + link.cost
+                if v not in dist or nd < dist[v][0]:
+                    dist[v] = (nd, u)
+                    heap_entry = (nd, v)
+                    heapq.heappush(heap, heap_entry)
+        return {node: info for node, info in dist.items() if node in settled}
+
+    # -- host mobility ----------------------------------------------------------
+    def move_host(self, host_id: str, new_asn: int,
+                  new_access_router: str) -> Host:
+        """Re-home a host: detach it and attach it under a new provider.
+
+        The host receives a fresh IPv4 address from the new domain's
+        block (provider-assigned addressing — this is exactly why plain
+        IPv(N-1) sessions break on mobility).  Control planes must be
+        reconverged afterwards.
+        """
+        host = self.node(host_id)
+        if not isinstance(host, Host):
+            raise TopologyError(f"{host_id!r} is not a host")
+        new_domain = self._require_domain(new_asn)
+        new_access = self.node(new_access_router)
+        if new_access.domain_id != new_asn or not new_access.is_router:
+            raise TopologyError(
+                f"{new_access_router!r} is not a router of AS{new_asn}")
+        old_access = self.node(host.access_router)
+        old_link = self.link_between(host_id, host.access_router)
+        if old_link is not None:
+            del self.links[old_link.endpoints()]
+            old_access.links.remove(old_link)
+            host.links.remove(old_link)
+        old_access.fib4.withdraw(Prefix.host(host.ipv4), RouteSource.CONNECTED)
+        host.fib4.withdraw(DEFAULT_ROUTE, RouteSource.STATIC)
+        self.domains[host.domain_id].hosts.discard(host_id)
+        del self._addr_index[host.ipv4]
+        old_ipv4 = host.ipv4
+        host.ipv4 = new_domain.allocate_ipv4()
+        host._local_ipv4.discard(old_ipv4)  # noqa: SLF001 - re-homing owns this
+        host._local_ipv4.add(host.ipv4)  # noqa: SLF001
+        host.domain_id = new_asn
+        host.access_router = new_access_router
+        self._addr_index[host.ipv4] = host_id
+        new_domain.hosts.add(host_id)
+        self.add_link(host_id, new_access_router)
+        host.fib4.install(FibEntry(prefix=DEFAULT_ROUTE,
+                                   next_hop=new_access_router,
+                                   source=RouteSource.STATIC))
+        new_access.fib4.install(FibEntry(prefix=Prefix.host(host.ipv4),
+                                         next_hop=host_id,
+                                         source=RouteSource.CONNECTED))
+        return host
+
+    # -- failure injection -----------------------------------------------------
+    def fail_router(self, router_id: str) -> List[Link]:
+        """Take a router down by failing all of its links.
+
+        Models a whole-router failure the way the control planes can
+        observe it: adjacencies vanish, so IGPs time the router's
+        routes out, BGP resyncs sessions that lost their last link, and
+        anycast stops steering packets to the dead member (it becomes
+        unreachable).  Returns the links failed, for later restoration.
+        """
+        node = self.node(router_id)
+        failed = []
+        for link in node.links:
+            if link.up:
+                link.fail()
+                failed.append(link)
+        return failed
+
+    def restore_router(self, router_id: str) -> None:
+        """Bring a failed router's links back up."""
+        node = self.node(router_id)
+        for link in node.links:
+            link.restore()
+
+    # -- stats --------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Topology summary used by example scripts and logging."""
+        return {
+            "domains": len(self.domains),
+            "routers": sum(1 for n in self.nodes.values() if n.is_router),
+            "hosts": sum(1 for n in self.nodes.values() if n.is_host),
+            "links": len(self.links),
+            "inter_domain_links": sum(
+                1 for l in self.links.values() if l.scope is LinkScope.INTER_DOMAIN),
+        }

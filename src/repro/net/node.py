@@ -1,0 +1,244 @@
+"""Nodes: routers and hosts, and their forwarding tables.
+
+A :class:`Router` owns an IPv4 FIB (:class:`Fib`) plus a set of *local
+addresses* it accepts delivery for.  Anycast membership — the heart of
+the paper's redirection mechanism — is modeled exactly as RFC 1546
+describes it: an IPvN router simply accepts delivery of packets
+destined to the anycast address, i.e. the anycast address appears in
+its local-address set, and routing protocols advertise a route to it.
+
+Next-generation (IPvN) state is attached by :mod:`repro.vnbone` through
+the ``vn_states`` slots so the base network layer stays family-agnostic:
+the forwarding engine only knows that a node *may* have a handler for
+decapsulated IPvN packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.address import IPV4_BITS, Address, IPv4Address, Prefix, VNAddress
+from repro.net.errors import TopologyError
+from repro.net.trie import PrefixTrie
+
+
+class NodeKind(Enum):
+    ROUTER = "router"
+    HOST = "host"
+
+
+class RouteSource(Enum):
+    """Which protocol installed a FIB entry; doubles as admin distance."""
+
+    CONNECTED = 0
+    STATIC = 1
+    IGP = 10
+    BGP = 20
+
+    @property
+    def admin_distance(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One forwarding decision: send matching packets to *next_hop*.
+
+    ``next_hop`` is the neighbor node id on the chosen outgoing link;
+    ``local`` marks a deliver-to-self entry (the node owns the prefix).
+    """
+
+    prefix: Prefix
+    next_hop: Optional[str]
+    source: RouteSource
+    metric: float = 0.0
+    local: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.local and self.next_hop is None:
+            raise TopologyError(f"non-local FIB entry for {self.prefix} needs a next hop")
+
+
+class Fib:
+    """A longest-prefix-match forwarding table with admin-distance arbitration.
+
+    Multiple protocols may offer routes for the same prefix; the FIB
+    keeps the offer with the lowest (admin_distance, metric).  Offers
+    are tracked per source so a protocol can withdraw only its own.
+    """
+
+    def __init__(self, bits: int = IPV4_BITS) -> None:
+        self._trie: PrefixTrie[Dict[RouteSource, FibEntry]] = PrefixTrie(bits)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def install(self, entry: FibEntry) -> None:
+        """Offer *entry*; replaces this source's previous offer for the prefix."""
+        offers = self._trie.get(entry.prefix)
+        if offers is None:
+            offers = {}
+            self._trie.insert(entry.prefix, offers)
+        offers[entry.source] = entry
+
+    def withdraw(self, prefix: Prefix, source: RouteSource) -> bool:
+        """Remove *source*'s offer for *prefix*; True if one was removed."""
+        offers = self._trie.get(prefix)
+        if offers is None or source not in offers:
+            return False
+        del offers[source]
+        if not offers:
+            self._trie.remove(prefix)
+        return True
+
+    def withdraw_all(self, source: RouteSource) -> int:
+        """Remove every offer installed by *source*; returns the count."""
+        doomed = [pfx for pfx, offers in self._trie.items() if source in offers]
+        for pfx in doomed:
+            self.withdraw(pfx, source)
+        return len(doomed)
+
+    @staticmethod
+    def _best(offers: Dict[RouteSource, FibEntry]) -> FibEntry:
+        return min(offers.values(), key=lambda e: (e.source.admin_distance, e.metric))
+
+    def lookup(self, address: Address) -> Optional[FibEntry]:
+        """Longest-prefix match, then best offer by admin distance."""
+        match = self._trie.lookup(address)
+        if match is None:
+            return None
+        _, offers = match
+        return self._best(offers)
+
+    def get(self, prefix: Prefix, source: Optional[RouteSource] = None) -> Optional[FibEntry]:
+        """Exact-prefix lookup; optionally restricted to one source."""
+        offers = self._trie.get(prefix)
+        if offers is None:
+            return None
+        if source is not None:
+            return offers.get(source)
+        return self._best(offers)
+
+    def entries(self) -> List[FibEntry]:
+        """The winning entry for every installed prefix."""
+        return [self._best(offers) for _, offers in self._trie.items()]
+
+    def route_count(self) -> int:
+        """Number of distinct prefixes with at least one offer."""
+        return len(self._trie)
+
+    def clear(self) -> None:
+        self._trie.clear()
+
+
+@dataclass
+class Node:
+    """Base class for routers and hosts."""
+
+    node_id: str
+    ipv4: IPv4Address
+    domain_id: int
+    kind: NodeKind = NodeKind.ROUTER
+
+    def __post_init__(self) -> None:
+        self.links: List["object"] = []  # populated by Network.add_link
+        self.fib4 = Fib(IPV4_BITS)
+        self._local_ipv4: Set[IPv4Address] = {self.ipv4}
+        # IPvN state per deployed version, attached by repro.vnbone for
+        # routers that deploy IPvN.  Kept as opaque objects so the base
+        # layer has no IPvN dependency; several generations (IPv8, IPv9,
+        # ...) can coexist on one router.
+        self.vn_states: Dict[int, object] = {}
+
+    # -- IPvN state ------------------------------------------------------
+    def vn_state_for(self, version: int) -> Optional[object]:
+        """The router's IPvN state for *version*, if it deploys it."""
+        return self.vn_states.get(version)
+
+    def set_vn_state(self, version: int, state: object) -> None:
+        self.vn_states[version] = state
+
+    def clear_vn_state(self, version: int) -> None:
+        self.vn_states.pop(version, None)
+
+    # -- local delivery ------------------------------------------------
+    def accepts_ipv4(self, address: IPv4Address) -> bool:
+        """Whether this node accepts local delivery for *address*.
+
+        Anycast membership works by adding the anycast address here
+        (RFC 1546: members "accept datagrams" for the anycast address).
+        """
+        return address in self._local_ipv4
+
+    def add_local_ipv4(self, address: IPv4Address) -> None:
+        self._local_ipv4.add(address)
+
+    def remove_local_ipv4(self, address: IPv4Address) -> None:
+        if address == self.ipv4:
+            raise TopologyError(f"cannot remove {self.node_id}'s primary address")
+        self._local_ipv4.discard(address)
+
+    def local_ipv4_addresses(self) -> Set[IPv4Address]:
+        return set(self._local_ipv4)
+
+    @property
+    def is_router(self) -> bool:
+        return self.kind is NodeKind.ROUTER
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind is NodeKind.HOST
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.node_id}@AS{self.domain_id}"
+
+
+@dataclass
+class Router(Node):
+    """An IP router.  ``is_border`` routers terminate inter-domain links."""
+
+    is_border: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = NodeKind.ROUTER
+
+
+@dataclass
+class Host(Node):
+    """An endhost attached to exactly one access router.
+
+    Hosts are the sources and sinks of the experiments.  A host sends
+    IPv4 through its access router; its IPvN stack (if enabled) does the
+    paper's host encapsulation: wrap the IPvN packet in IPv4 addressed
+    to the deployment's anycast address.
+    """
+
+    access_router: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = NodeKind.HOST
+        if not self.access_router:
+            raise TopologyError(f"host {self.node_id} needs an access router")
+        #: IPvN addresses this host answers to, by version.
+        self.vn_addresses: Dict[int, VNAddress] = {}
+        #: IPvN multicast groups this host has joined (any version).
+        self.vn_groups: Set[VNAddress] = set()
+
+    def vn_address(self, version: int) -> Optional[VNAddress]:
+        return self.vn_addresses.get(version)
+
+    def assign_vn_address(self, address: VNAddress) -> None:
+        self.vn_addresses[address.version] = address
+
+    def self_assign(self, version: int) -> VNAddress:
+        """Derive and adopt a temporary self-assigned IPvN address."""
+        address = VNAddress.self_assigned(self.ipv4, version=version)
+        self.vn_addresses[version] = address
+        return address
+
+
+NodePair = Tuple[str, str]

@@ -1,0 +1,166 @@
+"""Discrete-event simulation kernel.
+
+Routing protocols in this library are message driven: a protocol
+schedules message deliveries on the shared :class:`EventScheduler`, and
+the kernel runs callbacks in timestamp order.  Ties break by insertion
+sequence, which keeps runs deterministic for a fixed topology and seed.
+
+The kernel is intentionally small.  ``run_until_idle`` is the workhorse:
+protocol convergence in this library means "the event queue drained",
+with a configurable event budget as a divergence backstop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.errors import ConvergenceError, SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the scheduler's :class:`random.Random`, which protocols
+        use for jitter so that independent runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* to run *delay* time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* at absolute simulation *time*."""
+        return self.schedule(time - self._now, callback)
+
+    def _pop_next(self) -> Optional[_Event]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self.events_processed += 1
+        event.callback()
+        return True
+
+    def run_until_idle(self, max_events: int = 2_000_000) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        Raises :class:`ConvergenceError` if more than *max_events* fire,
+        which in practice means a protocol is oscillating.
+        """
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise ConvergenceError(
+                    f"event budget exhausted after {max_events} events; "
+                    "a protocol is likely not converging")
+        return processed
+
+    def run_until(self, time: float, max_events: int = 2_000_000) -> int:
+        """Run events with timestamps <= *time*; advance the clock to *time*."""
+        processed = 0
+        while self._queue:
+            head = self._peek_time()
+            if head is None or head > time:
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise ConvergenceError(
+                    f"event budget exhausted after {max_events} events before t={time}")
+        self._now = max(self._now, time)
+        return processed
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+
+@dataclass
+class MessageStats:
+    """Counters a protocol can keep to report its message complexity."""
+
+    sent: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+
+    def record_send(self, size: int = 1) -> None:
+        self.sent += 1
+        self.bytes_sent += size
+
+    def record_delivery(self) -> None:
+        self.delivered += 1
+
+    def reset(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.bytes_sent = 0
+
+
+Clock = Tuple[float, int]

@@ -1,0 +1,10 @@
+"""Application-level redirection baselines (Section 2.2)."""
+
+from repro.redirection.lookup import (BrokerLookupService, IspLookupService,
+                                      LookupAnswer, LookupService,
+                                      RedirectionComparison, app_level_send,
+                                      compare_redirection)
+
+__all__ = ["BrokerLookupService", "IspLookupService", "LookupAnswer",
+           "LookupService", "RedirectionComparison", "app_level_send",
+           "compare_redirection"]

@@ -1,0 +1,8 @@
+"""Intra-domain routing protocols with the paper's anycast extensions."""
+
+from repro.routing.distancevector import INFINITY, DistanceVectorRouting, DvRoute
+from repro.routing.igp import ANYCAST_STUB_COST, IgpProtocol
+from repro.routing.linkstate import LinkStateRouting, Lsa
+
+__all__ = ["INFINITY", "DistanceVectorRouting", "DvRoute", "ANYCAST_STUB_COST",
+           "IgpProtocol", "LinkStateRouting", "Lsa"]

@@ -1,0 +1,142 @@
+"""Common interface for intra-domain routing protocols (IGPs).
+
+The paper's anycast story needs two things from the IGP (Section 3.2):
+
+1. **Anycast routing**: an IPvN router advertises the deployment's
+   anycast address into the IGP (a high-cost stub "link" under
+   link-state, a zero-distance entry under distance-vector) so that
+   every router in the domain learns a path to its *closest* IPvN
+   router.
+2. **Member discovery** (link-state only): from the link-state
+   database, an IPvN router can identify every other IPvN router in its
+   domain — the property vN-Bone topology construction leans on
+   (Section 3.3.1).  Distance-vector cannot offer this; callers must
+   fall back to anycast-bootstrap discovery, exactly as footnote 3 of
+   the paper prescribes.
+
+Both concrete IGPs are message driven over the shared event scheduler,
+so experiment E11 can count protocol messages with and without the
+anycast extensions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.domain import Domain
+from repro.net.errors import RoutingError
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.simulator import EventScheduler, MessageStats
+
+#: The paper's "high-cost link" to the anycast address under link-state.
+#: The cost is uniform across members, so it never changes *which*
+#: member is closest; it only discourages transit through the address.
+ANYCAST_STUB_COST = 1000.0
+
+
+class IgpProtocol(abc.ABC):
+    """Base class for intra-domain routing protocols."""
+
+    #: Whether the LSDB lets IPvN routers enumerate one another.
+    supports_member_discovery = False
+
+    def __init__(self, network: Network, domain: Domain,
+                 scheduler: EventScheduler) -> None:
+        self.network = network
+        self.domain = domain
+        self.scheduler = scheduler
+        self.stats = MessageStats()
+        #: router_id -> {anycast address -> stub cost} advertisements.
+        self._anycast_adverts: Dict[str, Dict[IPv4Address, float]] = {}
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Schedule initial advertisements for every router in the domain."""
+
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Re-originate advertisements after topology or anycast changes."""
+
+    @abc.abstractmethod
+    def install_routes(self) -> None:
+        """Compute routes from converged protocol state and install FIBs."""
+
+    def converge(self, max_events: int = 2_000_000) -> int:
+        """Drain protocol messages, then install routes.  Returns events run."""
+        if not self._started:
+            self.start()
+        processed = self.scheduler.run_until_idle(max_events=max_events)
+        self.install_routes()
+        return processed
+
+    # -- anycast extension -----------------------------------------------------
+    def advertise_anycast(self, router_id: str, address: IPv4Address,
+                          cost: float = ANYCAST_STUB_COST) -> None:
+        """Have *router_id* advertise a stub route to an anycast address."""
+        self._require_member(router_id)
+        self._anycast_adverts.setdefault(router_id, {})[address] = cost
+        if self._started:
+            self.refresh()
+
+    def withdraw_anycast(self, router_id: str, address: IPv4Address) -> None:
+        adverts = self._anycast_adverts.get(router_id, {})
+        adverts.pop(address, None)
+        if not adverts:
+            self._anycast_adverts.pop(router_id, None)
+        if self._started:
+            self.refresh()
+
+    def anycast_advertisers(self, address: IPv4Address) -> Set[str]:
+        """Routers in this domain advertising *address*."""
+        return {rid for rid, adverts in self._anycast_adverts.items() if address in adverts}
+
+    def anycast_advert_cost(self, router_id: str, address: IPv4Address) -> Optional[float]:
+        return self._anycast_adverts.get(router_id, {}).get(address)
+
+    # -- helpers ----------------------------------------------------------------
+    def _require_member(self, router_id: str) -> Node:
+        if router_id not in self.domain.routers:
+            raise RoutingError(
+                f"router {router_id!r} is not in AS{self.domain.asn}; cannot participate in its IGP")
+        return self.network.node(router_id)
+
+    def local_prefixes(self, router_id: str) -> List[Prefix]:
+        """Prefixes a router originates: its loopback and attached hosts."""
+        node = self.network.node(router_id)
+        prefixes = [Prefix.host(node.ipv4)]
+        for neighbor_id, _link in self.network.neighbors(router_id):
+            neighbor = self.network.node(neighbor_id)
+            if neighbor.is_host:
+                prefixes.append(Prefix.host(neighbor.ipv4))
+        return prefixes
+
+    def intra_neighbors(self, router_id: str) -> List[Tuple[str, float, float]]:
+        """(neighbor router id, cost, delay) over live intra-domain links."""
+        result = []
+        for neighbor_id, link in self.network.neighbors(router_id):
+            neighbor = self.network.node(neighbor_id)
+            if neighbor.is_host or neighbor.domain_id != self.domain.asn:
+                continue
+            result.append((neighbor_id, link.cost, link.delay))
+        return result
+
+    # -- discovery hooks (link-state only) ----------------------------------------
+    def member_directory(self, address: IPv4Address) -> Set[str]:
+        """All routers advertising *address*, as visible from the LSDB.
+
+        Only meaningful when :attr:`supports_member_discovery` is true;
+        the base implementation raises to keep callers honest.
+        """
+        raise RoutingError(
+            f"{type(self).__name__} cannot enumerate anycast members; "
+            "use anycast-bootstrap discovery instead (paper footnote 3)")
+
+    def distance_between(self, a: str, b: str) -> Optional[float]:
+        """IGP distance between two routers of this domain (ground truth)."""
+        result = self.network.shortest_path(a, b, intra_domain_only=True)
+        return result[0] if result is not None else None

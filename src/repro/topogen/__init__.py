@@ -1,0 +1,13 @@
+"""Topology generators: tiered internets, router-level graphs, paper figures."""
+
+from repro.topogen.figures import FigureTopology, figure1, figure2, figure3, figure4
+from repro.topogen.hierarchy import (GeneratedInternet, InternetSpec,
+                                     generate_internet, medium_internet,
+                                     small_internet)
+from repro.topogen.intra import (build_domain_routers, grid_domain, random_domain,
+                                 ring_domain, star_domain)
+
+__all__ = ["FigureTopology", "figure1", "figure2", "figure3", "figure4",
+           "GeneratedInternet", "InternetSpec", "generate_internet",
+           "medium_internet", "small_internet", "build_domain_routers",
+           "grid_domain", "random_domain", "ring_domain", "star_domain"]

@@ -1,0 +1,8 @@
+"""Workload generators."""
+
+from repro.trace.workloads import (all_pairs, client_server, gravity_pairs,
+                                   pair_stream, sources_for_probes,
+                                   uniform_pairs)
+
+__all__ = ["all_pairs", "client_server", "gravity_pairs", "pair_stream",
+           "sources_for_probes", "uniform_pairs"]

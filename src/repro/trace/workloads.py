@@ -1,0 +1,121 @@
+"""Workload generators: traffic matrices and communication patterns.
+
+Experiments need streams of (source host, destination host) demands.
+Generators are seeded and deterministic.  Patterns:
+
+* ``uniform_pairs`` — uniform random host pairs (the default matrix);
+* ``client_server`` — many clients talking to few servers (the CDN /
+  content-provider shape the paper's multicast discussion evokes);
+* ``gravity_pairs`` — domain-level gravity model: the probability of a
+  pair is proportional to the product of the endpoint domains' host
+  counts;
+* ``all_pairs`` — the exhaustive matrix for small topologies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.errors import ReproError
+from repro.net.network import Network
+
+Pair = Tuple[str, str]
+
+
+def _hosts(network: Network) -> List[str]:
+    hosts = sorted(n.node_id for n in network.nodes.values() if n.is_host)
+    if len(hosts) < 2:
+        raise ReproError("workloads need at least two hosts")
+    return hosts
+
+
+def all_pairs(network: Network) -> List[Pair]:
+    """Every ordered host pair."""
+    hosts = _hosts(network)
+    return [(a, b) for a, b in itertools.permutations(hosts, 2)]
+
+
+def uniform_pairs(network: Network, count: int, seed: int = 0) -> List[Pair]:
+    """*count* uniform random ordered pairs (with replacement)."""
+    hosts = _hosts(network)
+    rng = random.Random(seed)
+    pairs: List[Pair] = []
+    while len(pairs) < count:
+        a, b = rng.sample(hosts, 2)
+        pairs.append((a, b))
+    return pairs
+
+
+def client_server(network: Network, count: int, n_servers: int = 2,
+                  seed: int = 0) -> List[Pair]:
+    """Clients talk to a small set of servers (both directions)."""
+    hosts = _hosts(network)
+    if n_servers >= len(hosts):
+        raise ReproError("need more hosts than servers")
+    rng = random.Random(seed)
+    servers = rng.sample(hosts, n_servers)
+    clients = [h for h in hosts if h not in servers]
+    pairs: List[Pair] = []
+    while len(pairs) < count:
+        client = rng.choice(clients)
+        server = rng.choice(servers)
+        if rng.random() < 0.5:
+            pairs.append((client, server))
+        else:
+            pairs.append((server, client))
+    return pairs
+
+
+def gravity_pairs(network: Network, count: int, seed: int = 0) -> List[Pair]:
+    """Domain-level gravity model over host counts."""
+    hosts = _hosts(network)
+    rng = random.Random(seed)
+    by_domain: Dict[int, List[str]] = {}
+    for host in hosts:
+        by_domain.setdefault(network.node(host).domain_id, []).append(host)
+    domains = sorted(by_domain)
+    weights = [len(by_domain[d]) for d in domains]
+    pairs: List[Pair] = []
+    while len(pairs) < count:
+        src_domain, dst_domain = rng.choices(domains, weights=weights, k=2)
+        src = rng.choice(by_domain[src_domain])
+        dst = rng.choice(by_domain[dst_domain])
+        if src != dst:
+            pairs.append((src, dst))
+    return pairs
+
+
+def pair_stream(network: Network, pattern: str, count: int,
+                seed: int = 0, **kwargs) -> List[Pair]:
+    """Dispatch by *pattern* name."""
+    if pattern == "uniform":
+        return uniform_pairs(network, count, seed=seed)
+    if pattern == "client-server":
+        return client_server(network, count, seed=seed, **kwargs)
+    if pattern == "gravity":
+        return gravity_pairs(network, count, seed=seed)
+    if pattern == "all":
+        return all_pairs(network)[:count]
+    raise ReproError(f"unknown workload pattern {pattern!r}")
+
+
+def sources_for_probes(network: Network, per_domain: int = 1,
+                       seed: int = 0) -> List[str]:
+    """One-or-more probe sources per domain (hosts preferred, else routers).
+
+    Used by anycast proximity sweeps that want geographic coverage
+    rather than traffic realism.
+    """
+    rng = random.Random(seed)
+    sources: List[str] = []
+    for asn in sorted(network.domains):
+        domain = network.domains[asn]
+        candidates = sorted(domain.hosts) or sorted(domain.routers)
+        if not candidates:
+            continue
+        picked = candidates if len(candidates) <= per_domain else rng.sample(
+            candidates, per_domain)
+        sources.extend(sorted(picked))
+    return sources

@@ -1,0 +1,304 @@
+"""One IPvN deployment: the facade tying every mechanism together.
+
+:class:`VnDeployment` is what an experiment drives: it owns the anycast
+group for one IPvN generation, the address plan, the vN-Bone topology
+and routing, and the host send path.  The lifecycle mirrors the paper's
+story:
+
+1. ISPs adopt (:meth:`deploy`) — possibly on a subset of their routers
+   (assumption A1).  Their IPvN routers join the anycast group and
+   receive native IPvN addresses; the domain's hosts are (re)labeled.
+2. :meth:`rebuild` reconverges the IPv(N-1) control planes, constructs
+   the vN-Bone, and computes IPvN routes, including egress selection
+   for destinations in non-adopting domains.
+3. Hosts communicate (:meth:`send`): the source encapsulates its IPvN
+   packet in IPv4 addressed to the deployment's anycast address;
+   anycast redirection finds the nearest IPvN router; the vN-Bone
+   carries it; the egress exits towards the destination.
+
+Universal access is the invariant: :meth:`send` works for *any* pair of
+IPvN-aware hosts at any nonzero deployment, with zero per-host
+configuration beyond the well-known anycast address.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.net.errors import DeploymentError
+from repro.net.forwarding import ForwardingTrace
+from repro.net.node import Host
+from repro.net.packet import IPv4Header, vn_packet
+from repro.core.orchestrator import Orchestrator
+from repro.anycast.service import AnycastScheme
+from repro.vnbone.addressing import VnAddressPlan
+from repro.vnbone.egress import (EgressPolicy, HostRegistry,
+                                 external_owner_entries)
+from repro.vnbone.proxy import ProxyAdvertiser
+from repro.vnbone.routing import OwnerEntry, VnRouting, make_vn_handler
+from repro.vnbone.state import VnAction, VnRouterState
+from repro.vnbone.topology import VnBoneTopology, VnTunnel
+
+
+class VnDeployment:
+    """A (possibly partial) deployment of one next-generation IP."""
+
+    def __init__(self, orchestrator: Orchestrator, scheme: AnycastScheme,
+                 version: int = 8, k_neighbors: int = 2,
+                 egress_policy: EgressPolicy = EgressPolicy.BGP_INFORMED,
+                 proxy_threshold: int = 1, fallback_exit: bool = True,
+                 routing_mode: str = "global-spf") -> None:
+        self.orchestrator = orchestrator
+        self.network = orchestrator.network
+        self.scheme = scheme
+        self.version = version
+        self.egress_policy = egress_policy
+        self.plan = VnAddressPlan(self.network, version=version)
+        anchor = getattr(scheme, "default_asn", None)
+        self.topology = VnBoneTopology(orchestrator, version,
+                                       k_neighbors=k_neighbors, anchor_asn=anchor)
+        if routing_mode == "global-spf":
+            self.routing = VnRouting(self.network, version)
+        elif routing_mode == "layered":
+            from repro.vnbone.bgpvn import LayeredVnRouting
+
+            self.routing = LayeredVnRouting(self.network, version)
+        else:
+            raise DeploymentError(
+                f"unknown routing_mode {routing_mode!r}; "
+                "choose 'global-spf' or 'layered'")
+        self.routing_mode = routing_mode
+        self.proxy = ProxyAdvertiser(self.network, orchestrator.bgp, version,
+                                     threshold=proxy_threshold)
+        self.host_registry = HostRegistry(version)
+        self.states: Dict[str, VnRouterState] = {}
+        self.tunnels: List[VnTunnel] = []
+        self._join_order: Dict[str, int] = {}
+        self._join_counter = itertools.count(1)
+        self._dirty = True
+        orchestrator.engine.register_vn_handler(
+            version, make_vn_handler(version, fallback_exit=fallback_exit))
+
+    # -- adoption lifecycle -------------------------------------------------------
+    def deploy(self, asn: int, router_ids: Optional[Set[str]] = None,
+               fraction: Optional[float] = None,
+               rng: Optional[random.Random] = None) -> Set[str]:
+        """Have AS *asn* adopt IPvN on some of its routers.
+
+        With neither ``router_ids`` nor ``fraction`` the whole domain
+        upgrades; ``fraction`` picks a deterministic pseudo-random
+        subset (at least one router) — assumption A1's partial
+        intra-ISP deployment.
+        """
+        if asn not in self.network.domains:
+            raise DeploymentError(f"unknown domain AS{asn}")
+        domain = self.network.domains[asn]
+        available = sorted(domain.routers)
+        if not available:
+            raise DeploymentError(f"AS{asn} has no routers to upgrade")
+        if router_ids is not None:
+            chosen = set(router_ids)
+        elif fraction is not None:
+            if not 0.0 < fraction <= 1.0:
+                raise DeploymentError(f"fraction must be in (0, 1], got {fraction}")
+            count = max(1, math.ceil(fraction * len(available)))
+            picker = rng if rng is not None else random.Random(asn * 2_654_435_761)
+            chosen = set(picker.sample(available, count))
+        else:
+            chosen = set(available)
+        domain.deploy_version(self.version, chosen)
+        for router_id in sorted(chosen):
+            self._make_member(router_id, asn)
+        self.plan.relabel_domain(asn)
+        self._dirty = True
+        return chosen
+
+    def _make_member(self, router_id: str, asn: int) -> None:
+        if router_id in self.states:
+            return
+        node = self.network.node(router_id)
+        state = VnRouterState(version=self.version, router_id=router_id,
+                              vn_address=self.plan.allocate_native(asn))
+        node.set_vn_state(self.version, state)
+        self.states[router_id] = state
+        self._join_order[router_id] = next(self._join_counter)
+        self.scheme.add_member(router_id)
+
+    def expand(self, asn: int, router_ids: Set[str]) -> None:
+        """Upgrade additional routers of an already-adopting AS."""
+        if not self.network.domains[asn].deploys(self.version):
+            raise DeploymentError(f"AS{asn} has not adopted IPv{self.version} yet")
+        self.network.domains[asn].deploy_version(self.version, set(router_ids))
+        for router_id in sorted(router_ids):
+            self._make_member(router_id, asn)
+        self._dirty = True
+
+    def undeploy(self, asn: int) -> None:
+        """Roll IPvN back in AS *asn* (churn experiments)."""
+        domain = self.network.domains[asn]
+        for router_id in sorted(domain.vn_router_ids(self.version)):
+            self.scheme.remove_member(router_id)
+            node = self.network.node(router_id)
+            node.clear_vn_state(self.version)
+            self.states.pop(router_id, None)
+            self._join_order.pop(router_id, None)
+        domain.undeploy_version(self.version)
+        self.plan.relabel_domain(asn)
+        self._dirty = True
+
+    # -- control-plane rebuild ---------------------------------------------------------
+    def rebuild(self) -> None:
+        """Reconverge everything after adoption changes."""
+        self.orchestrator.reconverge()
+        self.scheme.post_converge_install()
+        members_by_domain = self.members_by_domain()
+        self.tunnels = self.topology.build(members_by_domain, self._join_order)
+        for state in self.states.values():
+            state.neighbors.clear()
+            state.is_vn_border = False
+        for tunnel in self.tunnels:
+            state_a = self.states.get(tunnel.a)
+            state_b = self.states.get(tunnel.b)
+            if state_a is None or state_b is None:
+                continue
+            state_a.add_neighbor(tunnel.b, tunnel.cost)
+            state_b.add_neighbor(tunnel.a, tunnel.cost)
+            if (self.network.node(tunnel.a).domain_id
+                    != self.network.node(tunnel.b).domain_id):
+                state_a.is_vn_border = True
+                state_b.is_vn_border = True
+        entries = self._owner_entries(members_by_domain)
+        if self.routing_mode == "layered":
+            self.routing.compute(self.states, entries, self.tunnels)
+        else:
+            self.routing.compute(self.states, entries)
+        self._dirty = False
+
+    def _owner_entries(self, members_by_domain: Dict[int, Set[str]]
+                       ) -> List[OwnerEntry]:
+        entries: List[OwnerEntry] = []
+        # Members' own IPvN addresses.
+        for router_id in sorted(self.states):
+            state = self.states[router_id]
+            entries.append(OwnerEntry(
+                prefix=self._host_prefix(state.vn_address), owner=router_id,
+                action=VnAction.LOCAL, origin="intra"))
+        # Native host addresses, owned by the member nearest the host.
+        for asn in sorted(members_by_domain):
+            members = members_by_domain[asn]
+            for host_id in sorted(self.network.domains[asn].hosts):
+                address = self.plan.ensure_host_address(host_id)
+                host = self.network.node(host_id)
+                assert isinstance(host, Host)
+                owner = self._nearest_member(host.access_router, asn, members)
+                if owner is None:
+                    continue
+                entries.append(OwnerEntry(
+                    prefix=self._host_prefix(address), owner=owner,
+                    action=VnAction.EGRESS, egress_ipv4=host.ipv4,
+                    origin="host"))
+        # External (non-adopting) destination domains.
+        adopting = set(members_by_domain)
+        members = sorted(self.states)
+        if self.egress_policy is EgressPolicy.PROXY:
+            entries.extend(self.proxy.owner_entries(members, adopting))
+        else:
+            entries.extend(external_owner_entries(
+                self.network, self.orchestrator.bgp, self.version, members,
+                self.egress_policy, adopting))
+        # Host-registry advertisements serve two callers: the rejected
+        # HOST_ADVERTISED egress design, and mobility (a moved host's
+        # pinned address advertised from its new attachment).
+        entries.extend(self.host_registry.owner_entries(
+            self.network, set(self.states)))
+        return entries
+
+    @staticmethod
+    def _host_prefix(address):
+        from repro.net.address import Prefix
+
+        return Prefix.host(address)
+
+    def _nearest_member(self, target_id: str, asn: int,
+                        members: Set[str]) -> Optional[str]:
+        if target_id in members:
+            return target_id
+        best = None
+        for member in sorted(members):
+            cost = self.topology.member_distance(member, target_id, asn)
+            if cost is None:
+                continue
+            if best is None or (cost, member) < best:
+                best = (cost, member)
+        return best[1] if best else None
+
+    # -- host data path --------------------------------------------------------------------
+    def send(self, src_host_id: str, dst_host_id: str, payload: object = None,
+             ttl: int = 64) -> ForwardingTrace:
+        """Send an IPvN packet between two IPvN-aware hosts.
+
+        The host stack does exactly what Section 3.1 prescribes:
+        encapsulate the IPvN packet in IPv4 addressed to the well-known
+        anycast address.  No other host configuration exists.
+        """
+        if self._dirty:
+            self.rebuild()
+        src = self._require_host(src_host_id)
+        self._require_host(dst_host_id)
+        src_addr = self.plan.ensure_host_address(src_host_id)
+        dst_addr = self.plan.ensure_host_address(dst_host_id)
+        packet = vn_packet(src_addr, dst_addr, payload=payload, ttl=ttl)
+        packet.encapsulate(IPv4Header(src=src.ipv4, dst=self.scheme.address))
+        return self.orchestrator.forward(packet, src_host_id)
+
+    def register_host(self, host_id: str) -> Optional[str]:
+        """HOST_ADVERTISED egress: the host anycasts for a nearby IPvN
+        router and has it advertise the host's temporary address."""
+        if self._dirty:
+            self.rebuild()
+        self.plan.ensure_host_address(host_id)
+        member = self.scheme.resolve(host_id)
+        if member is None:
+            return None
+        self.host_registry.register(host_id, member)
+        self._dirty = True
+        return member
+
+    def _require_host(self, host_id: str) -> Host:
+        node = self.network.node(host_id)
+        if not isinstance(node, Host):
+            raise DeploymentError(f"{host_id!r} is not a host")
+        return node
+
+    # -- inspection ----------------------------------------------------------------------------
+    def members(self) -> Set[str]:
+        return set(self.states)
+
+    def members_by_domain(self) -> Dict[int, Set[str]]:
+        result: Dict[int, Set[str]] = {}
+        for asn, domain in self.network.domains.items():
+            members = domain.vn_router_ids(self.version)
+            if members:
+                result[asn] = members
+        return result
+
+    def adopting_asns(self) -> Set[int]:
+        return set(self.members_by_domain())
+
+    def state_of(self, router_id: str) -> VnRouterState:
+        try:
+            return self.states[router_id]
+        except KeyError:
+            raise DeploymentError(
+                f"{router_id!r} is not an IPv{self.version} router") from None
+
+    def vn_fib_sizes(self) -> Dict[str, int]:
+        return {rid: state.fib.route_count()
+                for rid, state in sorted(self.states.items())}
+
+    @property
+    def needs_rebuild(self) -> bool:
+        return self._dirty

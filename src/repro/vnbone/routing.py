@@ -1,0 +1,196 @@
+"""Routing over the vN-Bone (Section 3.3.2) and the IPvN data plane.
+
+The paper deliberately leaves the IPvN routing protocols unconstrained
+("BGPvN need not strictly resemble today's BGP").  We implement the
+straightforward choice: link-state over the virtual topology.  Every
+member computes shortest paths over the tunnel graph, and routes are
+installed for *advertised prefixes* — each prefix advertised by one or
+more **owners** with an advertised cost, mirroring route origination:
+
+* each member's own IPvN address (``LOCAL``),
+* native host addresses, owned by the member nearest the host's access
+  router, which exits the vN-Bone towards the host (``EGRESS``),
+* self-addressed blocks of non-IPvN domains, owned by the egress
+  routers that :mod:`repro.vnbone.egress` selects (``EGRESS``),
+* proxy-advertised external domains (:mod:`repro.vnbone.proxy`).
+
+When several owners advertise the same prefix, each member routes to
+the one minimizing (vN-Bone distance + advertised cost) — anycast-style
+selection inside the vN-Bone, which is exactly how advertising-by-proxy
+picks the best exit (Figure 4).
+
+The module also provides the forwarding-engine handler that makes IPvN
+routers act on these FIBs, including the fallback the paper calls "the
+simplest option": if a packet has no vN route but carries (or embeds)
+an IPv(N-1) destination, exit the vN-Bone and forward directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.forwarding import (VnDecision, VnDeliver, VnDrop, VnEgress,
+                                  VnForward, VnHandler)
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Packet, VNHeader
+from repro.vnbone.state import VnAction, VnFibEntry, VnRouterState
+
+
+@dataclass(frozen=True)
+class OwnerEntry:
+    """One prefix advertisement into vN-Bone routing."""
+
+    prefix: Prefix
+    owner: str
+    action: VnAction
+    egress_ipv4: Optional[IPv4Address] = None
+    advertised_cost: float = 0.0
+    origin: str = ""
+
+
+class VnRouting:
+    """Computes vN-Bone routes and installs IPvN FIBs."""
+
+    def __init__(self, network: Network, version: int) -> None:
+        self.network = network
+        self.version = version
+        self._dist: Dict[str, Dict[str, float]] = {}
+        self._first_hop: Dict[str, Dict[str, str]] = {}
+
+    # -- SPF over the tunnel graph ------------------------------------------------
+    def _spf(self, source: str, adjacency: Dict[str, Dict[str, float]]) -> None:
+        dist: Dict[str, float] = {source: 0.0}
+        first: Dict[str, str] = {}
+        heap: List[Tuple[float, str, Optional[str]]] = [(0.0, source, None)]
+        settled: Set[str] = set()
+        while heap:
+            d, u, hop = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            dist[u] = d
+            if hop is not None:
+                first[u] = hop
+            for v, cost in sorted(adjacency.get(u, {}).items()):
+                if v in settled:
+                    continue
+                next_hop = v if hop is None else hop
+                heapq.heappush(heap, (d + cost, v, next_hop))
+        self._dist[source] = {n: dist[n] for n in settled}
+        self._first_hop[source] = first
+
+    def compute(self, states: Dict[str, VnRouterState],
+                owner_entries: List[OwnerEntry]) -> None:
+        """Run SPF for every member and install all IPvN FIBs."""
+        adjacency: Dict[str, Dict[str, float]] = {m: {} for m in states}
+        for member, state in states.items():
+            for neighbor, cost in state.neighbors.items():
+                if neighbor not in states:
+                    continue
+                adjacency[member][neighbor] = min(
+                    cost, adjacency[member].get(neighbor, float("inf")))
+                adjacency[neighbor][member] = adjacency[member][neighbor]
+        self._dist.clear()
+        self._first_hop.clear()
+        for member in sorted(states):
+            self._spf(member, adjacency)
+        by_prefix: Dict[Prefix, List[OwnerEntry]] = {}
+        for entry in owner_entries:
+            by_prefix.setdefault(entry.prefix, []).append(entry)
+        for member in sorted(states):
+            self._install_member(member, states[member], by_prefix)
+
+    def _install_member(self, member: str, state: VnRouterState,
+                        by_prefix: Dict[Prefix, List[OwnerEntry]]) -> None:
+        state.fib.clear()
+        dist = self._dist.get(member, {})
+        first_hop = self._first_hop.get(member, {})
+        for prefix in sorted(by_prefix, key=str):
+            best: Optional[Tuple[float, str, OwnerEntry]] = None
+            for entry in sorted(by_prefix[prefix], key=lambda e: e.owner):
+                if entry.owner == member:
+                    total = entry.advertised_cost
+                elif entry.owner in dist:
+                    total = dist[entry.owner] + entry.advertised_cost
+                else:
+                    continue  # owner unreachable over the vN-Bone
+                key = (total, entry.owner, entry)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+            if best is None:
+                continue
+            total, owner, entry = best
+            if owner == member:
+                state.fib.install(VnFibEntry(prefix=prefix, action=entry.action,
+                                             egress_ipv4=entry.egress_ipv4,
+                                             metric=total, origin=entry.origin))
+            else:
+                state.fib.install(VnFibEntry(prefix=prefix, action=VnAction.FORWARD,
+                                             next_hop=first_hop[owner],
+                                             metric=total, origin=entry.origin))
+
+    # -- inspection ---------------------------------------------------------------------
+    def distance(self, a: str, b: str) -> Optional[float]:
+        return self._dist.get(a, {}).get(b)
+
+    def reachable_members(self, member: str) -> Set[str]:
+        return set(self._dist.get(member, {}))
+
+    def path(self, a: str, b: str) -> Optional[List[str]]:
+        """Member-level vN-Bone path from *a* to *b* (following first hops)."""
+        if b not in self._dist.get(a, {}):
+            return None
+        path = [a]
+        current = a
+        seen = {a}
+        while current != b:
+            nxt = self._first_hop.get(current, {}).get(b)
+            if nxt is None or nxt in seen:
+                return None
+            path.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        return path
+
+
+def make_vn_handler(version: int,
+                    fallback_exit: bool = True) -> VnHandler:
+    """Forwarding-engine handler implementing the IPvN data plane.
+
+    ``fallback_exit`` enables the paper's "simplest option": with no vN
+    route, exit the vN-Bone towards the packet's IPv(N-1) destination
+    (option field, or inferred from a self-assigned address).
+    """
+
+    def handler(node: Node, packet: Packet) -> VnDecision:
+        state = node.vn_state_for(version)
+        if not isinstance(state, VnRouterState) or state.version != version:
+            return VnDrop(f"{node.node_id} has no IPv{version} state")
+        header = packet.outer
+        assert isinstance(header, VNHeader)
+        if header.dst == state.vn_address:
+            return VnDeliver()
+        entry = state.fib.lookup(header.dst)
+        if entry is not None:
+            if entry.action is VnAction.LOCAL:
+                return VnDeliver()
+            if entry.action is VnAction.FORWARD:
+                assert entry.next_hop is not None
+                return VnForward(entry.next_hop)
+            target = entry.egress_ipv4
+            if target is None:
+                target = header.effective_dest_ipv4()
+            if target is None:
+                return VnDrop(f"egress entry for {entry.prefix} has no IPv4 target")
+            return VnEgress(target)
+        if fallback_exit:
+            target = header.effective_dest_ipv4()
+            if target is not None:
+                return VnEgress(target)
+        return VnDrop(f"no IPv{version} route for {header.dst} at {node.node_id}")
+
+    return handler

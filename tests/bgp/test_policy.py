@@ -1,0 +1,179 @@
+"""Unit tests for Gao-Rexford policy and the anycast route scopes."""
+
+import pytest
+
+from repro.net.address import Prefix, ipv4
+from repro.net.domain import Domain, Relationship
+from repro.bgp.policy import BgpPolicy, BilateralAgreements, local_pref_for
+from repro.bgp.routes import (LOCAL_PREF_CUSTOMER, LOCAL_PREF_PEER,
+                              LOCAL_PREF_PROVIDER, BgpRoute, RouteScope)
+
+PFX = Prefix.parse("10.9.0.0/16")
+ACAST = Prefix.host(ipv4("240.0.0.1"))
+
+
+def domain(asn=1, propagates_anycast=True):
+    d = Domain(asn=asn, name=f"as{asn}", prefix=Prefix.parse(f"10.{asn}.0.0/16"),
+               propagates_anycast=propagates_anycast)
+    d.set_relationship(2, Relationship.CUSTOMER)
+    d.set_relationship(3, Relationship.PEER)
+    d.set_relationship(4, Relationship.PROVIDER)
+    return d
+
+
+def incoming(from_asn, prefix=PFX, scope=RouteScope.NORMAL):
+    return BgpRoute(prefix=prefix, as_path=(from_asn, 9), scope=scope,
+                    learned_from=None)
+
+
+class TestLocalPref:
+    def test_mapping(self):
+        assert local_pref_for(Relationship.CUSTOMER) == LOCAL_PREF_CUSTOMER
+        assert local_pref_for(Relationship.PEER) == LOCAL_PREF_PEER
+        assert local_pref_for(Relationship.PROVIDER) == LOCAL_PREF_PROVIDER
+
+
+class TestImport:
+    def test_accept_assigns_pref_by_relationship(self):
+        policy = BgpPolicy()
+        d = domain()
+        imported = policy.accept(d, incoming(2), from_asn=2)
+        assert imported is not None
+        assert imported.local_pref == LOCAL_PREF_CUSTOMER
+        assert imported.learned_from == 2
+
+    def test_reject_as_path_loop(self):
+        policy = BgpPolicy()
+        d = domain()
+        looped = BgpRoute(prefix=PFX, as_path=(2, 1, 9), learned_from=None)
+        assert policy.accept(d, looped, from_asn=2) is None
+
+    def test_reject_unknown_neighbor(self):
+        policy = BgpPolicy()
+        assert policy.accept(domain(), incoming(7), from_asn=7) is None
+
+    def test_anycast_global_needs_policy_change(self):
+        policy = BgpPolicy()
+        unwilling = domain(propagates_anycast=False)
+        route = incoming(2, prefix=ACAST, scope=RouteScope.ANYCAST_GLOBAL)
+        assert policy.accept(unwilling, route, from_asn=2) is None
+        willing = domain(propagates_anycast=True)
+        assert policy.accept(willing, route, from_asn=2) is not None
+
+    def test_anycast_bilateral_needs_agreement(self):
+        agreements = BilateralAgreements()
+        policy = BgpPolicy(agreements)
+        d = domain()
+        route = incoming(2, prefix=ACAST, scope=RouteScope.ANYCAST_BILATERAL)
+        assert policy.accept(d, route, from_asn=2) is None
+        agreements.add(ACAST, 2, 1)
+        assert policy.accept(d, route, from_asn=2) is not None
+
+
+class TestExport:
+    def make(self, learned_rel=None, scope=RouteScope.NORMAL):
+        """A route as held by AS1: originated, or learned from the
+        neighbor bearing *learned_rel*."""
+        neighbor = {Relationship.CUSTOMER: 2, Relationship.PEER: 3,
+                    Relationship.PROVIDER: 4}.get(learned_rel)
+        return BgpRoute(prefix=PFX if scope is RouteScope.NORMAL else ACAST,
+                        as_path=(9,), scope=scope, learned_from=neighbor,
+                        local_pref=100)
+
+    def test_originated_exports_everywhere(self):
+        policy = BgpPolicy()
+        d = domain()
+        route = self.make()
+        for neighbor in (2, 3, 4):
+            assert policy.should_export(d, route, neighbor)
+
+    def test_customer_routes_export_everywhere(self):
+        policy = BgpPolicy()
+        d = domain()
+        route = self.make(Relationship.CUSTOMER)
+        assert policy.should_export(d, route, 3)
+        assert policy.should_export(d, route, 4)
+
+    def test_peer_routes_only_to_customers(self):
+        policy = BgpPolicy()
+        d = domain()
+        route = self.make(Relationship.PEER)
+        assert policy.should_export(d, route, 2)
+        assert not policy.should_export(d, route, 4)
+
+    def test_provider_routes_only_to_customers(self):
+        policy = BgpPolicy()
+        d = domain()
+        route = self.make(Relationship.PROVIDER)
+        assert policy.should_export(d, route, 2)
+        assert not policy.should_export(d, route, 3)
+
+    def test_never_reflect_to_sender(self):
+        policy = BgpPolicy()
+        d = domain()
+        route = self.make(Relationship.CUSTOMER)
+        assert not policy.should_export(d, route, 2)
+
+    def test_no_export_to_stranger(self):
+        policy = BgpPolicy()
+        assert not policy.should_export(domain(), self.make(), 99)
+
+    def test_anycast_global_export_gated_by_policy_flag(self):
+        policy = BgpPolicy()
+        route = self.make(Relationship.CUSTOMER, scope=RouteScope.ANYCAST_GLOBAL)
+        assert policy.should_export(domain(), route, 3)
+        assert not policy.should_export(domain(propagates_anycast=False), route, 3)
+
+    def test_bilateral_export_only_over_agreement(self):
+        agreements = BilateralAgreements()
+        policy = BgpPolicy(agreements)
+        d = domain()
+        originated = BgpRoute(prefix=ACAST, as_path=(1,),
+                              scope=RouteScope.ANYCAST_BILATERAL,
+                              learned_from=None)
+        assert not policy.should_export(d, originated, 3)
+        agreements.add(ACAST, 1, 3)
+        assert policy.should_export(d, originated, 3)
+
+    def test_bilateral_not_reexported_by_default(self):
+        agreements = BilateralAgreements()
+        agreements.add(ACAST, 2, 1)
+        policy = BgpPolicy(agreements)
+        d = domain()
+        learned = BgpRoute(prefix=ACAST, as_path=(2,),
+                           scope=RouteScope.ANYCAST_BILATERAL, learned_from=2)
+        assert not policy.should_export(d, learned, 3)
+
+    def test_bilateral_transitive_mode(self):
+        agreements = BilateralAgreements(transitive=True)
+        agreements.add(ACAST, 2, 1)
+        agreements.add(ACAST, 1, 3)
+        policy = BgpPolicy(agreements)
+        d = domain()
+        learned = BgpRoute(prefix=ACAST, as_path=(2,),
+                           scope=RouteScope.ANYCAST_BILATERAL, learned_from=2)
+        assert policy.should_export(d, learned, 3)
+        assert not policy.should_export(d, learned, 4)
+
+
+class TestAgreements:
+    def test_add_remove(self):
+        agreements = BilateralAgreements()
+        agreements.add(ACAST, 1, 2)
+        assert agreements.allows(ACAST, 1, 2)
+        assert not agreements.allows(ACAST, 2, 1)
+        agreements.remove(ACAST, 1, 2)
+        assert not agreements.allows(ACAST, 1, 2)
+
+    def test_partners_of(self):
+        agreements = BilateralAgreements()
+        agreements.add(ACAST, 1, 2)
+        agreements.add(ACAST, 1, 3)
+        agreements.add(ACAST, 4, 5)
+        assert agreements.partners_of(ACAST, 1) == {2, 3}
+
+    def test_clear(self):
+        agreements = BilateralAgreements()
+        agreements.add(ACAST, 1, 2)
+        agreements.clear()
+        assert not agreements.allows(ACAST, 1, 2)

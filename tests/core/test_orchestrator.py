@@ -1,0 +1,88 @@
+"""Tests for the routing orchestrator."""
+
+import pytest
+
+from repro.core.orchestrator import Orchestrator
+from repro.net import ipv4_packet
+from repro.net.errors import RoutingError
+from repro.routing import DistanceVectorRouting, LinkStateRouting
+from tests.conftest import build_hub_network
+
+
+class TestConstruction:
+    def test_igp_per_domain(self):
+        orch = Orchestrator(build_hub_network())
+        assert set(orch.igps) == {1, 2, 3, 4}
+        assert all(isinstance(igp, LinkStateRouting)
+                   for igp in orch.igps.values())
+
+    def test_igp_overrides(self):
+        orch = Orchestrator(build_hub_network(),
+                            igp_overrides={3: "distancevector"})
+        assert isinstance(orch.igps[3], DistanceVectorRouting)
+        assert isinstance(orch.igps[1], LinkStateRouting)
+
+    def test_unknown_igp_kind(self):
+        with pytest.raises(RoutingError):
+            Orchestrator(build_hub_network(), igp_kind="ospfv9")
+        with pytest.raises(RoutingError):
+            Orchestrator(build_hub_network(), igp_overrides={1: "ospfv9"})
+
+    def test_igp_lookup(self):
+        orch = Orchestrator(build_hub_network())
+        assert orch.igp(1) is orch.igps[1]
+        with pytest.raises(RoutingError):
+            orch.igp(42)
+
+
+class TestConvergence:
+    def test_forward_before_converge_rejected(self):
+        orch = Orchestrator(build_hub_network())
+        net = orch.network
+        packet = ipv4_packet(net.node("hx").ipv4, net.node("hz").ipv4)
+        with pytest.raises(RoutingError):
+            orch.forward(packet, "hx")
+
+    def test_converge_enables_forwarding(self):
+        orch = Orchestrator(build_hub_network())
+        orch.converge()
+        net = orch.network
+        trace = orch.forward(
+            ipv4_packet(net.node("hx").ipv4, net.node("hz").ipv4), "hx")
+        assert trace.delivered
+
+    def test_reconverge_before_converge_converges(self):
+        orch = Orchestrator(build_hub_network())
+        orch.reconverge()
+        net = orch.network
+        assert orch.forward(
+            ipv4_packet(net.node("hx").ipv4, net.node("hz").ipv4),
+            "hx").delivered
+
+    def test_reconverge_after_link_failure(self):
+        net = build_hub_network()
+        # Give AS1 a redundant internal path, then fail the primary.
+        net.add_router("w3", 1)
+        net.add_link("w1", "w3", cost=5)
+        net.add_link("w3", "w2", cost=5)
+        orch = Orchestrator(net)
+        orch.converge()
+        net.link_between("w1", "w2").fail()
+        orch.reconverge()
+        trace = orch.forward(
+            ipv4_packet(net.node("w2").ipv4, net.node("hz").ipv4), "w2")
+        assert trace.delivered
+        assert "w3" in trace.node_path()
+
+    def test_message_totals(self):
+        orch = Orchestrator(build_hub_network())
+        orch.converge()
+        totals = orch.message_totals()
+        assert totals["igp_messages"] > 0
+        assert totals["bgp_messages"] > 0
+        assert totals["events"] > 0
+
+    def test_deterministic_event_counts(self):
+        a = Orchestrator(build_hub_network(), seed=1)
+        b = Orchestrator(build_hub_network(), seed=1)
+        assert a.converge() == b.converge()

@@ -1,0 +1,112 @@
+"""Section 3.1's balance of user choice and ISP control.
+
+"ISPs can, to some extent, control the process of redirection through
+policy choices in their inter-domain routing.  For example, ISP W
+might, based on peering policies, choose to route anycast packets to
+ISP X before Y."  And crucially: "through peering policies, ISPs can
+control but not *gate* deployment."
+"""
+
+import pytest
+
+from repro.net import Domain, Network, Prefix, Relationship
+from repro.bgp.routes import LOCAL_PREF_CUSTOMER
+from repro.core.orchestrator import Orchestrator
+from repro.anycast import GlobalAnycast
+
+
+def w_between_x_and_y():
+    """Client domain Z behind transit W, which connects to both X and Y.
+
+    X and Y are equidistant from W, so with no policy the tie-break
+    decides; W's policy can steer its anycast traffic either way.
+    """
+    net = Network()
+    for asn, name in enumerate(["W", "X", "Y", "Z"], start=1):
+        net.add_domain(Domain(asn=asn, name=name,
+                              prefix=Prefix.parse(f"10.{asn}.0.0/16")))
+        net.add_router(f"{name.lower()}1", asn, is_border=True)
+        net.add_router(f"{name.lower()}2", asn)
+        net.add_link(f"{name.lower()}1", f"{name.lower()}2")
+    net.connect_domains(2, 1, "x1", "w1", Relationship.PROVIDER)  # X under W
+    net.connect_domains(3, 1, "y1", "w1", Relationship.PROVIDER)  # Y under W
+    net.connect_domains(4, 1, "z1", "w1", Relationship.PROVIDER)  # Z under W
+    net.add_host("c", 4, "z2")
+    return net
+
+
+@pytest.fixture
+def deployed():
+    net = w_between_x_and_y()
+    orch = Orchestrator(net)
+    orch.converge()
+    scheme = GlobalAnycast(orch, "ipv8")
+    scheme.add_member("x2")
+    scheme.add_member("y2")
+    orch.reconverge()
+    return net, orch, scheme
+
+
+class TestRedirectionSteering:
+    def test_default_tiebreak_picks_x(self, deployed):
+        net, orch, scheme = deployed
+        member = scheme.resolve("c")
+        assert net.node(member).domain_id == 2  # lower ASN tie-break
+
+    def test_w_can_prefer_y(self, deployed):
+        net, orch, scheme = deployed
+        net.domains[1].set_anycast_preference(3, LOCAL_PREF_CUSTOMER + 50)
+        orch.bgp.reannounce(2)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        member = scheme.resolve("c")
+        assert net.node(member).domain_id == 3
+
+    def test_preference_is_per_domain(self, deployed):
+        """W's policy steers traffic W carries; X's own clients are
+        untouched (control is shared and decentralized)."""
+        net, orch, scheme = deployed
+        net.domains[1].set_anycast_preference(3, LOCAL_PREF_CUSTOMER + 50)
+        orch.bgp.reannounce(2)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        assert scheme.resolve("x1") == "x2"  # X still serves itself
+
+    def test_clear_preferences_restores_default(self, deployed):
+        net, orch, scheme = deployed
+        net.domains[1].set_anycast_preference(3, LOCAL_PREF_CUSTOMER + 50)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        net.domains[1].clear_anycast_preferences()
+        orch.bgp.reannounce(2)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        member = scheme.resolve("c")
+        assert net.node(member).domain_id == 2
+
+
+class TestControlCannotGate:
+    def test_depreffing_does_not_block_access(self, deployed):
+        """W can make Y's route unattractive but cannot deny its
+        customers IPvN: depreffing both origins still leaves a route."""
+        net, orch, scheme = deployed
+        net.domains[1].set_anycast_preference(2, 5)
+        net.domains[1].set_anycast_preference(3, 1)
+        orch.bgp.reannounce(2)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        member = scheme.resolve("c")
+        assert member is not None
+        assert net.node(member).domain_id == 2  # pref 5 beats pref 1
+
+    def test_unicast_routes_unaffected(self, deployed):
+        net, orch, scheme = deployed
+        net.domains[1].set_anycast_preference(3, 500)
+        orch.bgp.reannounce(3)
+        orch.reconverge()
+        from repro.net import ipv4_packet
+
+        trace = orch.forward(ipv4_packet(net.node("c").ipv4,
+                                         net.node("x2").ipv4), "c")
+        assert trace.delivered
+        assert trace.domain_path() == [4, 1, 2]

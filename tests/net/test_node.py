@@ -1,0 +1,151 @@
+"""Unit tests for nodes, FIBs, and links."""
+
+import pytest
+
+from repro.net.address import IPv4Address, Prefix, VNAddress, ipv4
+from repro.net.errors import TopologyError
+from repro.net.link import Link, LinkScope
+from repro.net.node import Fib, FibEntry, Host, NodeKind, Router, RouteSource
+
+
+def entry(text, next_hop, source, metric=0.0):
+    return FibEntry(prefix=Prefix.parse(text), next_hop=next_hop,
+                    source=source, metric=metric)
+
+
+class TestLink:
+    def test_other_endpoint(self):
+        link = Link(a="x", b="y")
+        assert link.other("x") == "y"
+        assert link.other("y") == "x"
+
+    def test_other_rejects_stranger(self):
+        with pytest.raises(TopologyError):
+            Link(a="x", b="y").other("z")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(a="x", b="x")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(a="x", b="y", cost=-1)
+
+    def test_endpoints_canonical(self):
+        assert Link(a="y", b="x").endpoints() == ("x", "y")
+
+    def test_fail_and_restore(self):
+        link = Link(a="x", b="y")
+        link.fail()
+        assert not link.up
+        link.restore()
+        assert link.up
+
+    def test_default_scope_intra(self):
+        assert Link(a="x", b="y").scope is LinkScope.INTRA_DOMAIN
+
+
+class TestFib:
+    def test_lookup_longest_prefix(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "a", RouteSource.BGP))
+        fib.install(entry("10.1.0.0/16", "b", RouteSource.BGP))
+        found = fib.lookup(ipv4("10.1.2.3"))
+        assert found is not None and found.next_hop == "b"
+
+    def test_admin_distance_igp_beats_bgp(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "bgp-hop", RouteSource.BGP))
+        fib.install(entry("10.0.0.0/8", "igp-hop", RouteSource.IGP))
+        found = fib.lookup(ipv4("10.5.0.1"))
+        assert found is not None and found.next_hop == "igp-hop"
+
+    def test_metric_breaks_same_source(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "far", RouteSource.IGP, metric=9.0))
+        # A re-install from the same source replaces the earlier offer.
+        fib.install(entry("10.0.0.0/8", "near", RouteSource.IGP, metric=1.0))
+        found = fib.lookup(ipv4("10.0.0.1"))
+        assert found is not None and found.next_hop == "near"
+
+    def test_withdraw_only_named_source(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "bgp-hop", RouteSource.BGP))
+        fib.install(entry("10.0.0.0/8", "igp-hop", RouteSource.IGP))
+        assert fib.withdraw(Prefix.parse("10.0.0.0/8"), RouteSource.IGP)
+        found = fib.lookup(ipv4("10.0.0.1"))
+        assert found is not None and found.next_hop == "bgp-hop"
+
+    def test_withdraw_missing_returns_false(self):
+        assert not Fib().withdraw(Prefix.parse("10.0.0.0/8"), RouteSource.IGP)
+
+    def test_withdraw_all(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "a", RouteSource.IGP))
+        fib.install(entry("11.0.0.0/8", "b", RouteSource.IGP))
+        fib.install(entry("12.0.0.0/8", "c", RouteSource.BGP))
+        assert fib.withdraw_all(RouteSource.IGP) == 2
+        assert fib.route_count() == 1
+
+    def test_non_local_needs_next_hop(self):
+        with pytest.raises(TopologyError):
+            FibEntry(prefix=Prefix.parse("10.0.0.0/8"), next_hop=None,
+                     source=RouteSource.IGP)
+
+    def test_local_entry_allowed(self):
+        fib_entry = FibEntry(prefix=Prefix.parse("10.0.0.0/32"), next_hop=None,
+                             source=RouteSource.CONNECTED, local=True)
+        assert fib_entry.local
+
+    def test_entries_one_per_prefix(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", "a", RouteSource.BGP))
+        fib.install(entry("10.0.0.0/8", "b", RouteSource.IGP))
+        assert len(fib.entries()) == 1
+
+
+class TestNodes:
+    def test_router_accepts_own_address(self):
+        router = Router(node_id="r", ipv4=ipv4("10.0.0.1"), domain_id=1)
+        assert router.accepts_ipv4(ipv4("10.0.0.1"))
+        assert not router.accepts_ipv4(ipv4("10.0.0.2"))
+
+    def test_anycast_membership_via_local_address(self):
+        router = Router(node_id="r", ipv4=ipv4("10.0.0.1"), domain_id=1)
+        anycast = ipv4("240.0.0.1")
+        router.add_local_ipv4(anycast)
+        assert router.accepts_ipv4(anycast)
+        router.remove_local_ipv4(anycast)
+        assert not router.accepts_ipv4(anycast)
+
+    def test_cannot_remove_primary_address(self):
+        router = Router(node_id="r", ipv4=ipv4("10.0.0.1"), domain_id=1)
+        with pytest.raises(TopologyError):
+            router.remove_local_ipv4(ipv4("10.0.0.1"))
+
+    def test_host_requires_access_router(self):
+        with pytest.raises(TopologyError):
+            Host(node_id="h", ipv4=ipv4("10.0.0.9"), domain_id=1,
+                 kind=NodeKind.HOST, access_router="")
+
+    def test_host_self_assign(self):
+        host = Host(node_id="h", ipv4=ipv4("10.4.0.3"), domain_id=1,
+                    kind=NodeKind.HOST, access_router="r")
+        address = host.self_assign(8)
+        assert address.is_self_assigned
+        assert host.vn_address(8) == address
+        assert host.vn_address(9) is None
+
+    def test_host_assign_native(self):
+        host = Host(node_id="h", ipv4=ipv4("10.4.0.3"), domain_id=1,
+                    kind=NodeKind.HOST, access_router="r")
+        native = VNAddress((1 << 32) | 7)
+        host.assign_vn_address(native)
+        assert host.vn_address(8) == native
+
+    def test_kind_flags(self):
+        router = Router(node_id="r", ipv4=ipv4("10.0.0.1"), domain_id=1)
+        host = Host(node_id="h", ipv4=ipv4("10.0.0.2"), domain_id=1,
+                    kind=NodeKind.HOST, access_router="r")
+        assert router.is_router and not router.is_host
+        assert host.is_host and not host.is_router

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.net.errors import ConvergenceError, SimulationError
+from repro.net.simulator import EventScheduler, MessageStats
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(3.0, lambda: order.append("c"))
+        sched.schedule(1.0, lambda: order.append("a"))
+        sched.schedule(2.0, lambda: order.append("b"))
+        sched.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sched = EventScheduler()
+        order = []
+        for name in "abc":
+            sched.schedule(1.0, lambda n=name: order.append(n))
+        sched.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(5.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sched = EventScheduler()
+        sched.schedule(2.0, lambda: None)
+        sched.step()
+        seen = []
+        sched.schedule_at(7.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [7.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = EventScheduler()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sched.schedule(1.0, lambda: order.append("inner"))
+
+        sched.schedule(1.0, outer)
+        sched.run_until_idle()
+        assert order == ["outer", "inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_len_excludes_cancelled(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert len(sched) == 1
+        assert keep.time == 1.0
+
+
+class TestRunModes:
+    def test_step_returns_false_when_idle(self):
+        assert EventScheduler().step() is False
+
+    def test_run_until_stops_at_time(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(10.0, lambda: fired.append(10))
+        processed = sched.run_until(5.0)
+        assert processed == 1
+        assert fired == [1]
+        assert sched.now == 5.0
+
+    def test_run_until_idle_counts_events(self):
+        sched = EventScheduler()
+        for _ in range(4):
+            sched.schedule(1.0, lambda: None)
+        assert sched.run_until_idle() == 4
+        assert sched.events_processed == 4
+
+    def test_event_budget_raises(self):
+        sched = EventScheduler()
+
+        def reschedule():
+            sched.schedule(1.0, reschedule)
+
+        sched.schedule(1.0, reschedule)
+        with pytest.raises(ConvergenceError):
+            sched.run_until_idle(max_events=50)
+
+    def test_rng_is_seeded(self):
+        a = EventScheduler(seed=42).rng.random()
+        b = EventScheduler(seed=42).rng.random()
+        assert a == b
+
+
+class TestMessageStats:
+    def test_counters(self):
+        stats = MessageStats()
+        stats.record_send(size=3)
+        stats.record_send()
+        stats.record_delivery()
+        assert stats.sent == 2
+        assert stats.bytes_sent == 4
+        assert stats.delivered == 1
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record_send()
+        stats.reset()
+        assert stats.sent == 0 and stats.bytes_sent == 0

@@ -1,0 +1,169 @@
+"""Unit and property-based tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import IPV4_BITS, VN_BITS, IPv4Address, Prefix, VNAddress
+from repro.net.errors import AddressError
+from repro.net.trie import PrefixTrie
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_empty_trie(self):
+        trie = PrefixTrie(IPV4_BITS)
+        assert len(trie) == 0
+        assert not trie
+        assert trie.lookup(IPv4Address(1)) is None
+
+    def test_insert_and_exact_get(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.get(p("10.0.0.0/8")) == "a"
+        assert trie.get(p("10.0.0.0/16")) is None
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.0.0.0/8"), "b")
+        assert trie.get(p("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_longest_prefix_wins(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), "short")
+        trie.insert(p("10.1.0.0/16"), "long")
+        match = trie.lookup(IPv4Address.parse("10.1.2.3"))
+        assert match is not None
+        assert match[1] == "long"
+        match2 = trie.lookup(IPv4Address.parse("10.2.2.3"))
+        assert match2 is not None and match2[1] == "short"
+
+    def test_default_route_matches_everything(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(Prefix(IPv4Address(0), 0), "default")
+        match = trie.lookup(IPv4Address.parse("200.1.2.3"))
+        assert match is not None and match[1] == "default"
+
+    def test_all_matches_shortest_first(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(Prefix(IPv4Address(0), 0), 0)
+        trie.insert(p("10.0.0.0/8"), 8)
+        trie.insert(p("10.1.0.0/16"), 16)
+        matches = trie.all_matches(IPv4Address.parse("10.1.9.9"))
+        assert [value for _, value in matches] == [0, 8, 16]
+
+    def test_remove_and_prune(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.1.0.0/16"), "x")
+        assert trie.remove(p("10.1.0.0/16")) == "x"
+        assert len(trie) == 0
+        assert trie.lookup(IPv4Address.parse("10.1.0.1")) is None
+
+    def test_remove_keeps_shorter_entry(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), "short")
+        trie.insert(p("10.1.0.0/16"), "long")
+        trie.remove(p("10.1.0.0/16"))
+        match = trie.lookup(IPv4Address.parse("10.1.0.1"))
+        assert match is not None and match[1] == "short"
+
+    def test_remove_missing_raises(self):
+        trie = PrefixTrie(IPV4_BITS)
+        with pytest.raises(KeyError):
+            trie.remove(p("10.0.0.0/8"))
+
+    def test_contains(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), None)
+        assert p("10.0.0.0/8") in trie
+        assert p("10.0.0.0/9") not in trie
+
+    def test_family_mismatch_rejected(self):
+        trie = PrefixTrie(IPV4_BITS)
+        with pytest.raises(AddressError):
+            trie.insert(Prefix(VNAddress(1), 64), "x")
+        with pytest.raises(AddressError):
+            trie.lookup(VNAddress(1))
+
+    def test_vn_family_trie(self):
+        trie = PrefixTrie(VN_BITS)
+        trie.insert(Prefix(VNAddress(8 << 32), 32), "native")
+        match = trie.lookup(VNAddress((8 << 32) | 5))
+        assert match is not None and match[1] == "native"
+
+    def test_items_sorted_iteration(self):
+        trie = PrefixTrie(IPV4_BITS)
+        for text in ["10.0.0.0/8", "9.0.0.0/8", "10.128.0.0/9"]:
+            trie.insert(p(text), text)
+        assert [str(pfx) for pfx, _ in trie.items()] == [
+            "9.0.0.0/8", "10.0.0.0/8", "10.128.0.0/9"]
+
+    def test_clear(self):
+        trie = PrefixTrie(IPV4_BITS)
+        trie.insert(p("10.0.0.0/8"), 1)
+        trie.clear()
+        assert len(trie) == 0
+
+
+# -- property-based: trie vs reference model ---------------------------------
+
+prefixes_st = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: Prefix(IPv4Address(t[0]), t[1]))
+
+addresses_st = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+
+
+def reference_lookup(model, address):
+    """Longest-match over a plain dict of prefixes."""
+    best = None
+    for pfx, value in model.items():
+        if pfx.contains(address):
+            if best is None or pfx.plen > best[0].plen:
+                best = (pfx, value)
+    return best
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(prefixes_st, st.integers()), max_size=30),
+       addresses_st)
+def test_lookup_matches_reference_model(entries, address):
+    trie = PrefixTrie(IPV4_BITS)
+    model = {}
+    for pfx, value in entries:
+        trie.insert(pfx, value)
+        model[pfx] = value
+    assert trie.lookup(address) == reference_lookup(model, address)
+    assert len(trie) == len(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(prefixes_st, min_size=1, max_size=20, unique=True),
+       st.data())
+def test_insert_remove_roundtrip(prefixes, data):
+    trie = PrefixTrie(IPV4_BITS)
+    for index, pfx in enumerate(prefixes):
+        trie.insert(pfx, index)
+    doomed = data.draw(st.sampled_from(prefixes))
+    trie.remove(doomed)
+    assert doomed not in trie
+    for index, pfx in enumerate(prefixes):
+        if pfx != doomed:
+            assert trie.get(pfx) == index
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(prefixes_st, st.integers()), max_size=25))
+def test_items_roundtrip(entries):
+    trie = PrefixTrie(IPV4_BITS)
+    model = {}
+    for pfx, value in entries:
+        trie.insert(pfx, value)
+        model[pfx] = value
+    assert trie.to_dict() == model

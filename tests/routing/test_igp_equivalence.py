@@ -1,0 +1,84 @@
+"""Property-based cross-check: both IGPs compute true shortest paths.
+
+On random connected intra-domain graphs, link-state and distance-vector
+must install routes whose metrics equal the Dijkstra ground truth, and
+the anycast extension must pick the truly closest member under both.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Domain, EventScheduler, Network, Prefix, ipv4, ipv4_packet
+from repro.net.forwarding import ForwardingEngine
+from repro.routing.distancevector import DistanceVectorRouting
+from repro.routing.linkstate import LinkStateRouting
+
+
+def random_connected_domain(n_routers: int, extra_edges: int, seed: int) -> Network:
+    rng = random.Random(seed)
+    net = Network()
+    net.add_domain(Domain(asn=1, name="one", prefix=Prefix.parse("10.1.0.0/16")))
+    ids = [f"r{i}" for i in range(n_routers)]
+    for rid in ids:
+        net.add_router(rid, 1)
+    for i in range(1, n_routers):
+        anchor = ids[rng.randrange(i)]
+        net.add_link(ids[i], anchor, cost=rng.randint(1, 5))
+    for _ in range(extra_edges):
+        a, b = rng.sample(ids, 2)
+        if net.link_between(a, b) is None:
+            net.add_link(a, b, cost=rng.randint(1, 5))
+    return net
+
+
+@pytest.mark.parametrize("igp_cls", [LinkStateRouting, DistanceVectorRouting])
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8),
+       extra=st.integers(min_value=0, max_value=6),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_igp_metrics_match_dijkstra(igp_cls, n, extra, seed):
+    net = random_connected_domain(n, extra, seed)
+    sched = EventScheduler()
+    igp = igp_cls(net, net.domains[1], sched)
+    igp.converge()
+    for src in net.domains[1].routers:
+        for dst in net.domains[1].routers:
+            if src == dst:
+                continue
+            truth = net.shortest_path(src, dst, intra_domain_only=True)
+            assert truth is not None
+            entry = net.node(src).fib4.lookup(net.node(dst).ipv4)
+            assert entry is not None, (src, dst)
+            assert entry.metric == pytest.approx(truth[0])
+
+
+@pytest.mark.parametrize("igp_cls", [LinkStateRouting, DistanceVectorRouting])
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=3, max_value=8),
+       extra=st.integers(min_value=0, max_value=5),
+       seed=st.integers(min_value=0, max_value=10_000),
+       data=st.data())
+def test_anycast_reaches_closest_member(igp_cls, n, extra, seed, data):
+    net = random_connected_domain(n, extra, seed)
+    routers = sorted(net.domains[1].routers)
+    members = data.draw(st.sets(st.sampled_from(routers), min_size=1, max_size=3))
+    sched = EventScheduler()
+    igp = igp_cls(net, net.domains[1], sched)
+    anycast = ipv4("240.0.0.1")
+    for member in sorted(members):
+        net.node(member).add_local_ipv4(anycast)
+        igp.advertise_anycast(member, anycast)
+    igp.converge()
+    engine = ForwardingEngine(net)
+    for src in routers:
+        trace = engine.forward(ipv4_packet(net.node(src).ipv4, anycast), src)
+        assert trace.delivered, (src, trace)
+        optimal = min(net.shortest_path(src, m, intra_domain_only=True)[0]
+                      for m in members)
+        actual = net.shortest_path(src, trace.delivered_to,
+                                   intra_domain_only=True)[0]
+        # The delivered member must be a truly closest one.
+        assert actual == pytest.approx(optimal), (src, trace.delivered_to)

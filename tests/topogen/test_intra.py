@@ -1,0 +1,106 @@
+"""Unit tests for router-level topology generators."""
+
+import random
+
+import pytest
+
+from repro.net import Domain, Network, Prefix, TopologyError
+from repro.topogen.intra import (build_domain_routers, grid_domain,
+                                 random_domain, ring_domain, star_domain)
+
+
+def fresh_network(asn=1):
+    net = Network()
+    net.add_domain(Domain(asn=asn, name=f"as{asn}",
+                          prefix=Prefix.parse(f"10.{asn}.0.0/16")))
+    return net
+
+
+def assert_connected(net, ids):
+    for target in ids[1:]:
+        assert net.shortest_path(ids[0], target) is not None, target
+
+
+class TestRing:
+    def test_shape(self):
+        net = fresh_network()
+        ids = ring_domain(net, 1, 5)
+        assert len(ids) == 5
+        for rid in ids:
+            assert len(net.neighbors(rid)) == 2
+        assert_connected(net, ids)
+
+    def test_two_routers_single_link(self):
+        net = fresh_network()
+        ids = ring_domain(net, 1, 2)
+        assert len(net.links) == 1
+        assert_connected(net, ids)
+
+    def test_single_router(self):
+        net = fresh_network()
+        assert len(ring_domain(net, 1, 1)) == 1
+
+    def test_border_count(self):
+        net = fresh_network()
+        ring_domain(net, 1, 4, border_count=2)
+        assert len(net.domains[1].border_routers) == 2
+
+    def test_zero_routers_rejected(self):
+        with pytest.raises(TopologyError):
+            ring_domain(fresh_network(), 1, 0)
+
+
+class TestStar:
+    def test_hub_degree(self):
+        net = fresh_network()
+        ids = star_domain(net, 1, 6)
+        assert len(net.neighbors(ids[0])) == 5
+        assert_connected(net, ids)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        net = fresh_network()
+        ids = grid_domain(net, 1, 3, 4)
+        assert len(ids) == 12
+        assert len(net.links) == 3 * 3 + 2 * 4
+        assert_connected(net, ids)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            grid_domain(fresh_network(), 1, 0, 3)
+
+
+class TestRandom:
+    def test_connected(self):
+        net = fresh_network()
+        ids = random_domain(net, 1, 12, extra_edges=4,
+                            rng=random.Random(7))
+        assert_connected(net, ids)
+
+    def test_deterministic_for_seed(self):
+        def build(seed):
+            net = fresh_network()
+            random_domain(net, 1, 10, extra_edges=3, rng=random.Random(seed))
+            return sorted((k, l.cost) for k, l in net.links.items())
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_costs_in_range(self):
+        net = fresh_network()
+        random_domain(net, 1, 8, rng=random.Random(1), cost_range=(2.0, 3.0))
+        assert all(2.0 <= l.cost <= 3.0 for l in net.links.values())
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("style", ["ring", "star", "random"])
+    def test_styles(self, style):
+        net = fresh_network()
+        ids = build_domain_routers(net, 1, 5, style, rng=random.Random(0))
+        assert len(ids) == 5
+        assert_connected(net, ids)
+
+    def test_unknown_style(self):
+        with pytest.raises(TopologyError):
+            build_domain_routers(fresh_network(), 1, 3, "mobius")

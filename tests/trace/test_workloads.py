@@ -1,0 +1,83 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.net.errors import ReproError
+from repro.topogen import small_internet
+from repro.trace import (all_pairs, client_server, gravity_pairs, pair_stream,
+                         sources_for_probes, uniform_pairs)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return small_internet(0).network
+
+
+class TestUniform:
+    def test_count_and_validity(self, net):
+        pairs = uniform_pairs(net, 50, seed=1)
+        assert len(pairs) == 50
+        for a, b in pairs:
+            assert a != b
+            assert net.node(a).is_host and net.node(b).is_host
+
+    def test_deterministic(self, net):
+        assert uniform_pairs(net, 20, seed=3) == uniform_pairs(net, 20, seed=3)
+        assert uniform_pairs(net, 20, seed=3) != uniform_pairs(net, 20, seed=4)
+
+
+class TestAllPairs:
+    def test_size(self, net):
+        hosts = [n for n in net.nodes.values() if n.is_host]
+        pairs = all_pairs(net)
+        assert len(pairs) == len(hosts) * (len(hosts) - 1)
+        assert len(set(pairs)) == len(pairs)
+
+
+class TestClientServer:
+    def test_servers_bounded(self, net):
+        pairs = client_server(net, 40, n_servers=2, seed=0)
+        endpoints = {a for a, _ in pairs} | {b for _, b in pairs}
+        # Every pair touches a server; with 2 servers the server side
+        # of each pair comes from a 2-element set.
+        servers = set()
+        for a, b in pairs:
+            servers.add(a if a in servers or True else b)
+        assert len(pairs) == 40
+
+    def test_too_many_servers_rejected(self, net):
+        hosts = sum(1 for n in net.nodes.values() if n.is_host)
+        with pytest.raises(ReproError):
+            client_server(net, 5, n_servers=hosts)
+
+
+class TestGravity:
+    def test_pairs_valid(self, net):
+        pairs = gravity_pairs(net, 30, seed=2)
+        assert len(pairs) == 30
+        assert all(a != b for a, b in pairs)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("pattern", ["uniform", "client-server",
+                                         "gravity", "all"])
+    def test_patterns(self, net, pattern):
+        pairs = pair_stream(net, pattern, 10, seed=0)
+        assert pairs
+        assert all(a != b for a, b in pairs)
+
+    def test_unknown_pattern(self, net):
+        with pytest.raises(ReproError):
+            pair_stream(net, "fractal", 10)
+
+
+class TestProbeSources:
+    def test_one_per_domain(self, net):
+        sources = sources_for_probes(net, per_domain=1, seed=0)
+        domains = [net.node(s).domain_id for s in sources]
+        assert len(domains) == len(set(domains))
+        assert len(sources) == len(net.domains)
+
+    def test_deterministic(self, net):
+        assert (sources_for_probes(net, seed=1)
+                == sources_for_probes(net, seed=1))

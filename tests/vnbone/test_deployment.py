@@ -1,0 +1,161 @@
+"""Integration tests for the VnDeployment facade."""
+
+import pytest
+
+from repro.net import Outcome
+from repro.net.errors import DeploymentError
+from repro.anycast import DefaultRootedAnycast, GlobalAnycast
+from repro.vnbone import EgressPolicy, VnDeployment
+
+
+@pytest.fixture
+def deployment(converged_hub):
+    scheme = DefaultRootedAnycast(converged_hub, "ipv8", default_asn=2)
+    return VnDeployment(converged_hub, scheme, version=8)
+
+
+class TestLifecycle:
+    def test_deploy_all_routers(self, converged_hub, deployment):
+        chosen = deployment.deploy(2)
+        assert chosen == {"x1", "x2"}
+        assert deployment.members() == {"x1", "x2"}
+        assert converged_hub.network.node("x1").vn_state_for(8) is not None
+
+    def test_deploy_fraction_is_partial_and_deterministic(self, converged_hub,
+                                                          deployment):
+        chosen = deployment.deploy(2, fraction=0.5)
+        assert len(chosen) == 1
+        scheme2 = GlobalAnycast(converged_hub, "other")
+        dep2 = VnDeployment(converged_hub, scheme2, version=9)
+        assert dep2.deploy(2, fraction=0.5) == chosen
+
+    def test_deploy_explicit_subset(self, deployment):
+        assert deployment.deploy(2, router_ids={"x2"}) == {"x2"}
+        assert deployment.members() == {"x2"}
+
+    def test_invalid_fraction(self, deployment):
+        with pytest.raises(DeploymentError):
+            deployment.deploy(2, fraction=0.0)
+        with pytest.raises(DeploymentError):
+            deployment.deploy(2, fraction=1.5)
+
+    def test_unknown_domain(self, deployment):
+        with pytest.raises(DeploymentError):
+            deployment.deploy(99)
+
+    def test_expand(self, deployment):
+        deployment.deploy(2, router_ids={"x2"})
+        deployment.expand(2, {"x1"})
+        assert deployment.members() == {"x1", "x2"}
+
+    def test_expand_requires_prior_deploy(self, deployment):
+        with pytest.raises(DeploymentError):
+            deployment.expand(2, {"x1"})
+
+    def test_undeploy_cleans_everything(self, converged_hub, deployment):
+        deployment.deploy(2)
+        deployment.rebuild()
+        deployment.undeploy(2)
+        deployment.rebuild()
+        assert deployment.members() == set()
+        assert converged_hub.network.node("x1").vn_state_for(8) is None
+        assert not converged_hub.network.domains[2].deploys(8)
+
+    def test_members_by_domain(self, deployment):
+        deployment.deploy(2)
+        deployment.deploy(3, router_ids={"y1"})
+        assert deployment.members_by_domain() == {2: {"x1", "x2"}, 3: {"y1"}}
+        assert deployment.adopting_asns() == {2, 3}
+
+    def test_state_of_unknown_raises(self, deployment):
+        with pytest.raises(DeploymentError):
+            deployment.state_of("x1")
+
+
+class TestRebuild:
+    def test_rebuild_creates_tunnels_and_routes(self, deployment):
+        deployment.deploy(2)
+        deployment.deploy(1)
+        deployment.rebuild()
+        assert deployment.tunnels
+        kinds = {t.kind for t in deployment.tunnels}
+        assert "inter" in kinds
+        state = deployment.state_of("x1")
+        assert state.fib.route_count() > 0
+        assert not deployment.needs_rebuild
+
+    def test_vn_border_marked(self, deployment):
+        deployment.deploy(2)
+        deployment.deploy(1)
+        deployment.rebuild()
+        borders = {rid for rid, s in deployment.states.items() if s.is_vn_border}
+        assert borders  # the tunnel endpoints across AS1-AS2
+
+    def test_vn_fib_sizes(self, deployment):
+        deployment.deploy(2)
+        deployment.rebuild()
+        sizes = deployment.vn_fib_sizes()
+        assert set(sizes) == {"x1", "x2"}
+        assert all(size > 0 for size in sizes.values())
+
+
+class TestSend:
+    def test_send_between_native_and_self_addressed(self, deployment):
+        deployment.deploy(2)
+        trace = deployment.send("hx", "hz")
+        assert trace.outcome is Outcome.DELIVERED
+        back = deployment.send("hz", "hx")
+        assert back.outcome is Outcome.DELIVERED
+        assert back.ingress_router in deployment.members()
+
+    def test_send_between_two_self_addressed(self, deployment):
+        deployment.deploy(1)  # only the hub deploys
+        trace = deployment.send("hz", "hx")
+        assert trace.outcome is Outcome.DELIVERED
+        assert trace.vn_hops >= 0
+        assert trace.encapsulations >= 1
+
+    def test_send_native_to_native(self, deployment):
+        deployment.deploy(2)
+        deployment.deploy(4)
+        trace = deployment.send("hx", "hz")
+        assert trace.outcome is Outcome.DELIVERED
+        # Destination now native: delivery must come through the vN FIB
+        # host entry, not the fallback.
+        assert trace.egress_router is not None
+
+    def test_send_rebuilds_lazily(self, deployment):
+        deployment.deploy(2)
+        assert deployment.needs_rebuild
+        deployment.send("hx", "hz")
+        assert not deployment.needs_rebuild
+
+    def test_send_requires_hosts(self, deployment):
+        deployment.deploy(2)
+        deployment.rebuild()
+        with pytest.raises(DeploymentError):
+            deployment.send("x1", "hz")
+
+
+class TestHostAdvertisedMode:
+    def test_register_and_deliver(self, converged_hub):
+        scheme = DefaultRootedAnycast(converged_hub, "ipv8", default_asn=2)
+        deployment = VnDeployment(converged_hub, scheme, version=8,
+                                  egress_policy=EgressPolicy.HOST_ADVERTISED,
+                                  fallback_exit=False)
+        deployment.deploy(2)
+        deployment.rebuild()
+        member = deployment.register_host("hz")
+        assert member in deployment.members()
+        trace = deployment.send("hx", "hz")
+        assert trace.outcome is Outcome.DELIVERED
+
+    def test_unregistered_destination_undeliverable(self, converged_hub):
+        scheme = DefaultRootedAnycast(converged_hub, "ipv8", default_asn=2)
+        deployment = VnDeployment(converged_hub, scheme, version=8,
+                                  egress_policy=EgressPolicy.HOST_ADVERTISED,
+                                  fallback_exit=False)
+        deployment.deploy(2)
+        deployment.rebuild()
+        trace = deployment.send("hx", "hz")
+        assert trace.outcome is not Outcome.DELIVERED

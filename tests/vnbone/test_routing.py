@@ -1,0 +1,177 @@
+"""Unit tests for vN-Bone routing (SPF, owner selection, the handler)."""
+
+import pytest
+
+from repro.net import Network, Domain, Prefix, ipv4
+from repro.net.address import VNAddress
+from repro.net.forwarding import VnDeliver, VnDrop, VnEgress, VnForward
+from repro.net.packet import vn_packet
+from repro.vnbone.routing import OwnerEntry, VnRouting, make_vn_handler
+from repro.vnbone.state import VnAction, VnRouterState, vn_prefix_for_ipv4
+
+
+def make_states(*specs):
+    """specs: (router_id, {neighbor: cost})"""
+    states = {}
+    for index, (rid, neighbors) in enumerate(specs, start=1):
+        state = VnRouterState(version=8, router_id=rid,
+                              vn_address=VNAddress((1 << 32) | index))
+        for nid, cost in neighbors.items():
+            state.neighbors[nid] = cost
+        states[rid] = state
+    return states
+
+
+def local_entry(states, rid):
+    return OwnerEntry(prefix=Prefix.host(states[rid].vn_address), owner=rid,
+                      action=VnAction.LOCAL, origin="intra")
+
+
+class TestSpf:
+    def test_line_distances_and_first_hops(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0, "c": 2.0}),
+                             ("c", {"b": 2.0}))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, [local_entry(states, r) for r in states])
+        assert routing.distance("a", "c") == 3.0
+        entry = states["a"].fib.lookup(states["c"].vn_address)
+        assert entry is not None
+        assert entry.action is VnAction.FORWARD and entry.next_hop == "b"
+
+    def test_asymmetric_neighbor_costs_symmetrized(self):
+        states = make_states(("a", {"b": 5.0}), ("b", {}))
+        states["b"].neighbors["a"] = 1.0  # cheaper view; min wins
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, [local_entry(states, r) for r in states])
+        assert routing.distance("a", "b") == 1.0
+
+    def test_unreachable_member_no_route(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0}), ("c", {}))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, [local_entry(states, r) for r in states])
+        assert routing.distance("a", "c") is None
+        assert states["a"].fib.lookup(states["c"].vn_address) is None
+        assert routing.reachable_members("a") == {"a", "b"}
+
+    def test_path_reconstruction(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0, "c": 1.0}),
+                             ("c", {"b": 1.0}))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, [local_entry(states, r) for r in states])
+        assert routing.path("a", "c") == ["a", "b", "c"]
+        assert routing.path("a", "a") == ["a"]
+
+
+class TestOwnerSelection:
+    def test_multiple_owners_nearest_wins(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0, "c": 1.0}),
+                             ("c", {"b": 1.0}))
+        external = vn_prefix_for_ipv4(Prefix.parse("10.9.0.0/16"))
+        entries = [local_entry(states, r) for r in states]
+        entries.append(OwnerEntry(prefix=external, owner="a",
+                                  action=VnAction.EGRESS, advertised_cost=0.0))
+        entries.append(OwnerEntry(prefix=external, owner="c",
+                                  action=VnAction.EGRESS, advertised_cost=0.0))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, entries)
+        target = VNAddress.self_assigned(ipv4("10.9.0.5"))
+        entry_b = states["b"].fib.lookup(target)
+        assert entry_b is not None and entry_b.action is VnAction.FORWARD
+        entry_a = states["a"].fib.lookup(target)
+        assert entry_a is not None and entry_a.action is VnAction.EGRESS
+
+    def test_advertised_cost_dominates_distance(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0, "c": 1.0}),
+                             ("c", {"b": 1.0}))
+        external = vn_prefix_for_ipv4(Prefix.parse("10.9.0.0/16"))
+        entries = [local_entry(states, r) for r in states]
+        # a is nearer to b but advertises a much worse external cost.
+        entries.append(OwnerEntry(prefix=external, owner="a",
+                                  action=VnAction.EGRESS, advertised_cost=100.0))
+        entries.append(OwnerEntry(prefix=external, owner="c",
+                                  action=VnAction.EGRESS, advertised_cost=0.0))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, entries)
+        entry_b = states["b"].fib.lookup(VNAddress.self_assigned(ipv4("10.9.0.5")))
+        assert entry_b is not None and entry_b.next_hop == "c"
+
+    def test_unreachable_owner_skipped(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0}), ("c", {}))
+        external = vn_prefix_for_ipv4(Prefix.parse("10.9.0.0/16"))
+        entries = [local_entry(states, r) for r in states]
+        entries.append(OwnerEntry(prefix=external, owner="c",
+                                  action=VnAction.EGRESS, advertised_cost=0.0))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, entries)
+        assert states["a"].fib.lookup(
+            VNAddress.self_assigned(ipv4("10.9.0.5"))) is None
+
+
+class TestHandler:
+    def make_node(self, state):
+        from repro.net.node import Router
+
+        node = Router(node_id=state.router_id, ipv4=ipv4("10.1.0.1"), domain_id=1)
+        node.set_vn_state(state.version, state)
+        return node
+
+    def test_deliver_to_own_address(self):
+        states = make_states(("a", {}))
+        handler = make_vn_handler(8)
+        node = self.make_node(states["a"])
+        packet = vn_packet(VNAddress(9), states["a"].vn_address)
+        assert isinstance(handler(node, packet), VnDeliver)
+
+    def test_forward_entry(self):
+        states = make_states(("a", {"b": 1.0}), ("b", {"a": 1.0}))
+        routing = VnRouting(Network(), 8)
+        routing.compute(states, [local_entry(states, r) for r in states])
+        handler = make_vn_handler(8)
+        node = self.make_node(states["a"])
+        packet = vn_packet(VNAddress(9), states["b"].vn_address)
+        decision = handler(node, packet)
+        assert isinstance(decision, VnForward) and decision.next_vn_hop == "b"
+
+    def test_fallback_exit_for_self_addressed(self):
+        states = make_states(("a", {}))
+        handler = make_vn_handler(8, fallback_exit=True)
+        node = self.make_node(states["a"])
+        dst = VNAddress.self_assigned(ipv4("10.9.0.7"))
+        decision = handler(node, vn_packet(VNAddress(9), dst))
+        assert isinstance(decision, VnEgress)
+        assert decision.ipv4_dst == ipv4("10.9.0.7")
+
+    def test_no_fallback_drops(self):
+        states = make_states(("a", {}))
+        handler = make_vn_handler(8, fallback_exit=False)
+        node = self.make_node(states["a"])
+        dst = VNAddress.self_assigned(ipv4("10.9.0.7"))
+        assert isinstance(handler(node, vn_packet(VNAddress(9), dst)), VnDrop)
+
+    def test_native_unroutable_drops_even_with_fallback(self):
+        states = make_states(("a", {}))
+        handler = make_vn_handler(8, fallback_exit=True)
+        node = self.make_node(states["a"])
+        decision = handler(node, vn_packet(VNAddress(9), VNAddress((5 << 32) | 1)))
+        assert isinstance(decision, VnDrop)
+
+    def test_wrong_version_drops(self):
+        states = make_states(("a", {}))
+        handler = make_vn_handler(9)
+        node = self.make_node(states["a"])  # state is version 8
+        packet = vn_packet(VNAddress(9, version=9), VNAddress(2, version=9))
+        assert isinstance(handler(node, packet), VnDrop)
+
+    def test_egress_entry_with_explicit_target(self):
+        states = make_states(("a", {}))
+        target = ipv4("10.2.0.3")
+        from repro.vnbone.state import VnFibEntry
+
+        host_addr = VNAddress((1 << 32) | 77)
+        states["a"].fib.install(VnFibEntry(prefix=Prefix.host(host_addr),
+                                           action=VnAction.EGRESS,
+                                           egress_ipv4=target))
+        handler = make_vn_handler(8)
+        node = self.make_node(states["a"])
+        decision = handler(node, vn_packet(VNAddress(9), host_addr))
+        assert isinstance(decision, VnEgress) and decision.ipv4_dst == target
