@@ -96,6 +96,8 @@ class BgpProtocol:
             asn: BgpSpeaker(domain) for asn, domain in network.domains.items()}
         #: Sessions torn down by resync, awaiting physical restoration.
         self._down_sessions: Set[Tuple[int, int]] = set()
+        #: Speakers whose every router is crashed (fault injection).
+        self._down_speakers: Set[int] = set()
         self._started = False
 
     def speaker(self, asn: int) -> BgpSpeaker:
@@ -160,11 +162,15 @@ class BgpProtocol:
     def _send(self, to_asn: int, update: BgpUpdate) -> None:
         if to_asn not in self.speakers:
             return
+        if update.sender_asn in self._down_speakers:
+            return  # crashed speakers fall silent
         self.stats.record_send()
-        self.scheduler.schedule(SESSION_DELAY,
-                                lambda: self._receive(to_asn, update))
+        self.scheduler.schedule_message(SESSION_DELAY,
+                                        lambda: self._receive(to_asn, update))
 
     def _receive(self, asn: int, update: BgpUpdate) -> None:
+        if asn in self._down_speakers:
+            return  # message lost: every router of the AS is down
         self.stats.record_delivery()
         speaker = self.speaker(asn)
         rib = speaker.adj_rib_in.setdefault(update.prefix, {})
@@ -213,6 +219,38 @@ class BgpProtocol:
         return self.scheduler.run_until_idle(max_events=max_events)
 
     # -- session maintenance ---------------------------------------------------------
+    def resync_speakers(self) -> int:
+        """Reconcile speaker liveness with the physical node state.
+
+        A speaker is *crashed* once none of its domain's routers is up.
+        Crashing loses all learned state — Adj-RIB-In and Loc-RIB are
+        flushed, exactly as a real BGP restart would — and the speaker
+        falls silent.  On revival it re-runs the decision process over
+        its own originations and reannounces; routes it used to carry
+        for others return only via neighbor reannouncement
+        (:meth:`resync_sessions`).  Returns how many speakers changed
+        liveness.  Run before :meth:`resync_sessions`.
+        """
+        changed = 0
+        for asn in sorted(self.speakers):
+            domain = self.network.domains[asn]
+            alive = any(self.network.node(rid).up for rid in domain.routers)
+            if not alive and asn not in self._down_speakers:
+                self._down_speakers.add(asn)
+                speaker = self.speakers[asn]
+                speaker.adj_rib_in.clear()
+                speaker.loc_rib.clear()
+                changed += 1
+            elif alive and asn in self._down_speakers:
+                self._down_speakers.discard(asn)
+                speaker = self.speakers[asn]
+                for prefix in sorted(speaker.originated, key=str):
+                    best = speaker.decide(prefix)
+                    if best is not None:
+                        self._export(speaker, prefix, best)
+                changed += 1
+        return changed
+
     def resync_sessions(self) -> int:
         """Reconcile BGP sessions with the physical topology.
 
@@ -230,7 +268,9 @@ class BgpProtocol:
             for neighbor_asn in sorted(domain.neighbor_asns()):
                 if neighbor_asn not in self.speakers:
                     continue
-                alive = bool(self._egress_links(asn, neighbor_asn))
+                alive = (bool(self._egress_links(asn, neighbor_asn))
+                         and asn not in self._down_speakers
+                         and neighbor_asn not in self._down_speakers)
                 key = (asn, neighbor_asn)
                 if alive:
                     if key in self._down_sessions:

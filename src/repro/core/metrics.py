@@ -139,6 +139,62 @@ class ReachabilityReport:
             self.failures[key] = self.failures.get(key, 0) + 1
 
 
+@dataclass
+class FaultEpochReport:
+    """What one fault epoch (a batch of same-time fault events) did.
+
+    Captures the paper's anycast-failover measurement: the *transient*
+    reachability probe runs against stale forwarding state right after
+    the faults hit (packets black-holing at the failure), the
+    *recovered* probe runs after the control plane reconverged and FIBs
+    were reinstalled.
+    """
+
+    time: float
+    events: List[str] = field(default_factory=list)
+    reconverged_at: Optional[float] = None
+    events_processed: int = 0
+    transient: Optional[ReachabilityReport] = None
+    recovered: Optional[ReachabilityReport] = None
+
+    @property
+    def reconvergence_time(self) -> Optional[float]:
+        """Sim-time from fault injection to control-plane quiescence."""
+        if self.reconverged_at is None:
+            return None
+        return self.reconverged_at - self.time
+
+    @property
+    def transient_losses(self) -> int:
+        """Probes lost in the window before reconvergence."""
+        if self.transient is None:
+            return 0
+        return self.transient.attempted - self.transient.delivered
+
+    @property
+    def recovered_delivery_ratio(self) -> Optional[float]:
+        if self.recovered is None:
+            return None
+        return self.recovered.delivery_ratio
+
+    def to_dict(self) -> Dict[str, object]:
+        def report_dict(report: Optional[ReachabilityReport]) -> Optional[Dict[str, object]]:
+            if report is None:
+                return None
+            return {"attempted": report.attempted, "delivered": report.delivered,
+                    "delivery_ratio": report.delivery_ratio,
+                    "failures": dict(sorted(report.failures.items())),
+                    "mean_stretch": report.mean_stretch}
+
+        return {"time": self.time, "events": list(self.events),
+                "reconverged_at": self.reconverged_at,
+                "reconvergence_time": self.reconvergence_time,
+                "events_processed": self.events_processed,
+                "transient_losses": self.transient_losses,
+                "transient": report_dict(self.transient),
+                "recovered": report_dict(self.recovered)}
+
+
 def measure_reachability(network: Network, send, pairs: Iterable[Tuple[str, str]]
                          ) -> ReachabilityReport:
     """Run *send(src, dst) -> trace* over *pairs* and aggregate."""

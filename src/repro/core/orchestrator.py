@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 from repro.net.errors import RoutingError
 from repro.net.forwarding import ForwardingEngine, ForwardingTrace
+from repro.net.link import Link, LinkScope
 from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.net.simulator import EventScheduler
@@ -96,14 +97,49 @@ class Orchestrator:
             return self.converge(max_events=max_events)
         for asn in sorted(self.igps):
             self.igps[asn].refresh()
-        # Tear down BGP sessions whose physical links vanished; the
-        # flush propagates withdrawals/alternatives through the mesh.
+        # Tear down crashed speakers and BGP sessions whose physical
+        # links vanished; the flush propagates withdrawals/alternatives.
+        self.bgp.resync_speakers()
         self.bgp.resync_sessions()
         processed = self.scheduler.run_until_idle(max_events=max_events)
+        self.install_routes()
+        return processed
+
+    def install_routes(self) -> None:
+        """Install converged state into FIBs: IGPs first, then BGP."""
         for asn in sorted(self.igps):
             self.igps[asn].install_routes()
         self.bgp.install_routes()
-        return processed
+
+    # -- failure notification ----------------------------------------------------
+    def notify_link_change(self, link: Link) -> None:
+        """Tell the control planes a link changed state (fault injection).
+
+        Intra-domain links go to the owning domain's IGP, which arms
+        hold-down timers at the endpoints; inter-domain links go to BGP
+        session maintenance.  The caller is responsible for draining the
+        scheduler (:meth:`EventScheduler.run_until_idle`) and calling
+        :meth:`install_routes` afterwards — the :class:`FaultInjector`
+        does both.
+        """
+        if link.scope is LinkScope.INTER_DOMAIN:
+            self.bgp.resync_sessions()
+            return
+        domain_id = self.network.node(link.a).domain_id
+        igp = self.igps.get(domain_id)
+        if igp is not None:
+            igp.on_link_change(link)
+
+    def notify_node_change(self, node_id: str) -> None:
+        """Tell the control planes a node crashed or recovered."""
+        self.bgp.resync_speakers()
+        self.bgp.resync_sessions()
+        node = self.network.node(node_id)
+        igp = self.igps.get(node.domain_id)
+        if igp is not None and node.up:
+            # A recovered router must re-advertise itself; its neighbors
+            # react to the restored links via notify_link_change.
+            igp.refresh()
 
     # -- convenience -----------------------------------------------------------------
     def forward(self, packet: Packet, start: str, strict: bool = False) -> ForwardingTrace:

@@ -1,0 +1,23 @@
+"""Fault injection: declarative fault schedules and their execution.
+
+The paper's robustness argument (Section 3.2) hinges on IP anycast
+inheriting the failure semantics of unicast routing: when the nearest
+IPvN router dies, routing reconverges and packets simply flow to the
+next-nearest member, with no application-level failover machinery.
+This package lets experiments *test* that claim:
+
+* :class:`FaultPlan` — a declarative schedule of link failures and
+  repairs, node crashes and recoveries, and probabilistic
+  message-loss/reorder windows;
+* :class:`FaultInjector` — executes a plan against an
+  :class:`~repro.core.orchestrator.Orchestrator` on the shared event
+  scheduler, drives control-plane reconvergence, and measures the
+  transient (pre-reconvergence) and recovered reachability of a
+  caller-supplied workload per fault epoch.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
+           "FaultRecord"]

@@ -4,7 +4,8 @@ from repro.net.address import (IPV4_BITS, VN_BITS, Address, IPv4Address, Prefix,
                                VNAddress, ipv4, prefix)
 from repro.net.domain import Domain, Relationship
 from repro.net.errors import (AddressError, ConvergenceError, DeploymentError,
-                              ForwardingError, ForwardingLoopError, NoRouteError,
+                              FaultDropError, FaultError, ForwardingError,
+                              ForwardingLoopError, NoRouteError,
                               RedirectionError, ReproError, RoutingError,
                               SimulationError, TopologyError, TTLExpiredError)
 from repro.net.forwarding import (ForwardingEngine, ForwardingTrace, HopRecord,
@@ -15,19 +16,21 @@ from repro.net.network import Network
 from repro.net.node import Fib, FibEntry, Host, Node, NodeKind, Router, RouteSource
 from repro.net.packet import (DEFAULT_TTL, Header, IPv4Header, Packet, VNHeader,
                               ipv4_packet, vn_packet)
-from repro.net.simulator import EventHandle, EventScheduler, MessageStats
+from repro.net.simulator import (EventHandle, EventScheduler, MessagePerturbation,
+                                 MessageStats)
 from repro.net.trie import PrefixTrie
 
 __all__ = [
     "IPV4_BITS", "VN_BITS", "Address", "IPv4Address", "Prefix", "VNAddress",
     "ipv4", "prefix", "Domain", "Relationship", "AddressError",
-    "ConvergenceError", "DeploymentError", "ForwardingError",
+    "ConvergenceError", "DeploymentError", "FaultDropError", "FaultError",
+    "ForwardingError",
     "ForwardingLoopError", "NoRouteError", "RedirectionError", "ReproError",
     "RoutingError", "SimulationError", "TopologyError", "TTLExpiredError",
     "ForwardingEngine", "ForwardingTrace", "HopRecord", "Outcome", "VnDecision",
     "VnDeliver", "VnDrop", "VnEgress", "VnForward", "Link", "LinkScope",
     "Network", "Fib", "FibEntry", "Host", "Node", "NodeKind", "Router",
     "RouteSource", "DEFAULT_TTL", "Header", "IPv4Header", "Packet", "VNHeader",
-    "ipv4_packet", "vn_packet", "EventHandle", "EventScheduler", "MessageStats",
-    "PrefixTrie",
+    "ipv4_packet", "vn_packet", "EventHandle", "EventScheduler",
+    "MessagePerturbation", "MessageStats", "PrefixTrie",
 ]

@@ -44,6 +44,14 @@ class ForwardingLoopError(ForwardingError):
     """The forwarding engine detected a persistent loop."""
 
 
+class FaultDropError(ForwardingError):
+    """The packet hit injected-fault state (down link or crashed node)."""
+
+
+class FaultError(ReproError):
+    """A fault plan was malformed or an injector was misused."""
+
+
 class RoutingError(ReproError):
     """A routing protocol was misconfigured or reached an invalid state."""
 

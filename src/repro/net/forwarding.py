@@ -28,7 +28,8 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.net.address import IPv4Address
-from repro.net.errors import (ForwardingLoopError, NoRouteError, TTLExpiredError)
+from repro.net.errors import (FaultDropError, ForwardingLoopError, NoRouteError,
+                              TTLExpiredError)
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import IPv4Header, Packet, VNHeader
@@ -45,6 +46,10 @@ class Outcome(Enum):
     LOOP = "loop"
     NO_VN_HANDLER = "no-vn-handler"
     DROPPED = "dropped"
+    #: The packet hit injected-fault state: a down link still in a FIB,
+    #: or a crashed node.  Distinct from NO_ROUTE so experiments can
+    #: separate transient fault loss from genuine routing holes.
+    FAULT_DROPPED = "fault-dropped"
     #: The branch ended by forking into copies (multicast walks only).
     REPLICATED = "replicated"
 
@@ -112,10 +117,13 @@ class HopRecord:
     action: str
     detail: str = ""
     depth: int = 1
+    #: True when this hop's action was caused by injected-fault state.
+    faulted: bool = False
 
     def __str__(self) -> str:
         extra = f" ({self.detail})" if self.detail else ""
-        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}"
+        fault = " [fault]" if self.faulted else ""
+        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}{fault}"
 
 
 @dataclass
@@ -137,13 +145,21 @@ class ForwardingTrace:
     last_vn_node: Optional[str] = None
     drop_reason: str = ""
 
-    def record(self, node: Node, action: str, detail: str = "", depth: int = 1) -> None:
+    def record(self, node: Node, action: str, detail: str = "", depth: int = 1,
+               faulted: bool = False) -> None:
         self.hops.append(HopRecord(node_id=node.node_id, domain_id=node.domain_id,
-                                   action=action, detail=detail, depth=depth))
+                                   action=action, detail=detail, depth=depth,
+                                   faulted=faulted))
 
     @property
     def delivered(self) -> bool:
         return self.outcome is Outcome.DELIVERED
+
+    @property
+    def faulted(self) -> bool:
+        """Whether the walk encountered injected-fault state anywhere."""
+        return (self.outcome is Outcome.FAULT_DROPPED
+                or any(hop.faulted for hop in self.hops))
 
     def node_path(self) -> List[str]:
         """Distinct consecutive node ids visited, in order."""
@@ -249,6 +265,13 @@ class ForwardingEngine:
               strict: bool, fork_queue: Optional[deque]) -> None:
         steps = 0
         while True:
+            if not node.up:
+                trace.outcome = Outcome.FAULT_DROPPED
+                trace.drop_reason = f"node {node.node_id} is down"
+                trace.record(node, "fault-drop", trace.drop_reason, faulted=True)
+                if strict:
+                    raise FaultDropError(trace.drop_reason)
+                return
             steps += 1
             if steps > self.max_steps:
                 trace.outcome = Outcome.LOOP
@@ -287,12 +310,20 @@ class ForwardingEngine:
                 raise TTLExpiredError(node.node_id)
             return None
         link = self.network.link_between(node.node_id, entry.next_hop)
-        if link is None or not link.up:
+        if link is None:
             trace.outcome = Outcome.NO_ROUTE
             trace.drop_reason = f"next hop {entry.next_hop} unreachable from {node.node_id}"
             trace.record(node, "drop", trace.drop_reason)
             if strict:
                 raise NoRouteError(node.node_id, outer.dst)
+            return None
+        if not link.up:
+            trace.outcome = Outcome.FAULT_DROPPED
+            trace.drop_reason = (
+                f"link {node.node_id}<->{entry.next_hop} is down")
+            trace.record(node, "fault-drop", trace.drop_reason, faulted=True)
+            if strict:
+                raise FaultDropError(trace.drop_reason)
             return None
         packet.replace_outer(outer.decremented())
         trace.physical_hops += 1

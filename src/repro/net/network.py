@@ -295,6 +295,45 @@ class Network:
         for link in node.links:
             link.restore()
 
+    def crash_node(self, node_id: str) -> List[Link]:
+        """Crash a node outright: mark it down and fail its live links.
+
+        Unlike :meth:`fail_router` (which only models the adjacency
+        loss), a crashed node also stops forwarding and accepting
+        packets, and in-flight control-plane messages addressed to it
+        are lost.  Returns the links failed, for exact restoration.
+        """
+        node = self.node(node_id)
+        node.up = False
+        failed = []
+        for link in node.links:
+            if link.up:
+                link.fail()
+                failed.append(link)
+        return failed
+
+    def recover_node(self, node_id: str,
+                     links: Optional[Iterable[Link]] = None) -> List[Link]:
+        """Recover a crashed node and restore its links.
+
+        With *links* (as returned by :meth:`crash_node`) only those are
+        restored; otherwise all of the node's links.  A link whose far
+        endpoint is itself still crashed stays down.  Returns the links
+        actually restored.
+        """
+        node = self.node(node_id)
+        node.up = True
+        candidates = node.links if links is None else list(links)
+        restored = []
+        for link in candidates:
+            if link.up:
+                continue
+            if not self.node(link.other(node_id)).up:
+                continue  # far end still crashed; its recovery restores it
+            link.restore()
+            restored.append(link)
+        return restored
+
     # -- stats --------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Topology summary used by example scripts and logging."""

@@ -144,6 +144,10 @@ class Node:
 
     def __post_init__(self) -> None:
         self.links: List["object"] = []  # populated by Network.add_link
+        #: False while the node is crashed (fault injection).  A down
+        #: node neither forwards nor accepts packets, and control-plane
+        #: messages addressed to it are lost.
+        self.up: bool = True
         self.fib4 = Fib(IPV4_BITS)
         self._local_ipv4: Set[IPv4Address] = {self.ipv4}
         # IPvN state per deployed version, attached by repro.vnbone for

@@ -8,6 +8,18 @@ sequence, which keeps runs deterministic for a fixed topology and seed.
 The kernel is intentionally small.  ``run_until_idle`` is the workhorse:
 protocol convergence in this library means "the event queue drained",
 with a configurable event budget as a divergence backstop.
+
+Fault injection hooks in at two points:
+
+* :meth:`EventScheduler.schedule_message` is the send path protocols
+  use for their wire messages.  While a
+  :class:`MessagePerturbation` is active (installed by
+  :class:`repro.faults.FaultInjector` for a loss window), each message
+  is independently dropped with ``loss_prob`` or delayed by a uniform
+  jitter drawn from ``[0, reorder_jitter]`` — both from the scheduler's
+  own seeded RNG, so perturbed runs stay reproducible.
+* Timers and fault events themselves use plain :meth:`schedule` and are
+  never perturbed.
 """
 
 from __future__ import annotations
@@ -29,19 +41,30 @@ class _Event:
     seq: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has been popped for execution.
+    finished: bool = field(default=False, compare=False)
+    #: False for events that never entered the queue (dropped messages).
+    queued: bool = field(default=True, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event,
+                 scheduler: Optional["EventScheduler"] = None) -> None:
         self._event = event
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.finished:
+            return
+        event.cancelled = True
+        if event.queued and self._scheduler is not None:
+            self._scheduler._live -= 1  # noqa: SLF001 - handle owns the event
 
     @property
     def time(self) -> float:
@@ -50,6 +73,14 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+
+@dataclass
+class MessagePerturbation:
+    """An active message-fault window: loss probability and reorder jitter."""
+
+    loss_prob: float = 0.0
+    reorder_jitter: float = 0.0
 
 
 class EventScheduler:
@@ -68,6 +99,11 @@ class EventScheduler:
         self._now = 0.0
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Count of scheduled, not-yet-fired, not-cancelled events.
+        self._live = 0
+        self._perturbation: Optional[MessagePerturbation] = None
+        self.messages_lost = 0
+        self.messages_reordered = 0
 
     @property
     def now(self) -> float:
@@ -75,7 +111,9 @@ class EventScheduler:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        # O(1): a live-event counter maintained by schedule/cancel/pop,
+        # instead of scanning the heap for cancelled entries.
+        return self._live
 
     def schedule(self, delay: float, callback: Callback) -> EventHandle:
         """Schedule *callback* to run *delay* time units from now."""
@@ -83,16 +121,61 @@ class EventScheduler:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callback) -> EventHandle:
         """Schedule *callback* at absolute simulation *time*."""
         return self.schedule(time - self._now, callback)
 
+    # -- message perturbation (fault injection) -----------------------------
+    @property
+    def message_perturbation(self) -> Optional[MessagePerturbation]:
+        return self._perturbation
+
+    def set_message_perturbation(self, loss_prob: float = 0.0,
+                                 reorder_jitter: float = 0.0) -> None:
+        """Start perturbing protocol messages (loss and/or reordering)."""
+        if not 0.0 <= loss_prob <= 1.0:
+            raise SimulationError(f"loss_prob must be in [0, 1], got {loss_prob}")
+        if reorder_jitter < 0.0:
+            raise SimulationError(f"reorder_jitter must be >= 0, got {reorder_jitter}")
+        self._perturbation = MessagePerturbation(loss_prob=loss_prob,
+                                                 reorder_jitter=reorder_jitter)
+
+    def clear_message_perturbation(self) -> None:
+        self._perturbation = None
+
+    def schedule_message(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule a protocol *message* delivery *delay* from now.
+
+        Unlike :meth:`schedule`, message deliveries are subject to the
+        active :class:`MessagePerturbation`: they may be dropped (the
+        returned handle is born cancelled and the message never fires)
+        or delayed by a random jitter, which reorders them relative to
+        messages sent on other links.
+        """
+        perturbation = self._perturbation
+        if perturbation is not None:
+            if (perturbation.loss_prob > 0.0
+                    and self.rng.random() < perturbation.loss_prob):
+                self.messages_lost += 1
+                event = _Event(time=self._now + delay, seq=next(self._seq),
+                               callback=callback, cancelled=True, queued=False)
+                return EventHandle(event, self)
+            if perturbation.reorder_jitter > 0.0:
+                jitter = self.rng.uniform(0.0, perturbation.reorder_jitter)
+                if jitter > 0.0:
+                    self.messages_reordered += 1
+                delay += jitter
+        return self.schedule(delay, callback)
+
     def _pop_next(self) -> Optional[_Event]:
         while self._queue:
             event = heapq.heappop(self._queue)
             if not event.cancelled:
+                event.finished = True
+                self._live -= 1
                 return event
         return None
 

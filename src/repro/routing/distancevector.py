@@ -105,6 +105,8 @@ class DistanceVectorRouting(IgpProtocol):
 
     def _send_updates(self, router_id: str) -> None:
         self._update_pending.discard(router_id)
+        if router_id not in self._tables or not self.network.node(router_id).up:
+            return  # crashed (or removed) routers send nothing
         table = self._tables[router_id]
         for neighbor_id, _cost, delay in self.intra_neighbors(router_id):
             vector: Dict[Prefix, float] = {}
@@ -114,14 +116,35 @@ class DistanceVectorRouting(IgpProtocol):
                 else:
                     vector[pfx] = route.metric
             self.stats.record_send(size=len(vector))
-            self.scheduler.schedule(
+            self.scheduler.schedule_message(
                 delay,
                 lambda n=neighbor_id, s=router_id, v=vector: self._receive(n, s, v))
+
+    def _solicit(self, router_id: str) -> None:
+        """RIP-style route request: ask each live neighbor for its table.
+
+        Triggered updates alone cannot *re-learn* a route that was
+        poisoned: neighbors whose tables did not change stay silent.
+        After a topology change the affected router therefore asks its
+        neighbors for a full advertisement round.
+        """
+        for neighbor_id, _cost, delay in self.intra_neighbors(router_id):
+            self.stats.record_send()
+            self.scheduler.schedule_message(
+                delay, lambda n=neighbor_id: self._answer_solicit(n))
+
+    def _answer_solicit(self, router_id: str) -> None:
+        if router_id not in self._tables or not self.network.node(router_id).up:
+            return
+        self.stats.record_delivery()
+        self._schedule_update(router_id)
 
     def _receive(self, router_id: str, sender: str,
                  vector: Dict[Prefix, float]) -> None:
         if router_id not in self._tables:
             return
+        if not self.network.node(router_id).up:
+            return  # crashed router: message lost on the floor
         self.stats.record_delivery()
         link = self.network.link_between(router_id, sender)
         if link is None or not link.up:
@@ -129,6 +152,7 @@ class DistanceVectorRouting(IgpProtocol):
         cost = link.cost
         table = self._tables[router_id]
         changed = False
+        lost_routes = False
         for pfx, metric in vector.items():
             candidate = min(metric + cost, INFINITY)
             current = table.get(pfx)
@@ -140,6 +164,8 @@ class DistanceVectorRouting(IgpProtocol):
             if current.next_hop == sender:
                 # Updates from our current next hop always apply (better or worse).
                 if current.metric != candidate:
+                    if candidate >= INFINITY and current.reachable:
+                        lost_routes = True
                     table[pfx] = DvRoute(prefix=pfx, metric=candidate, next_hop=sender)
                     changed = True
             elif candidate < current.metric:
@@ -147,6 +173,10 @@ class DistanceVectorRouting(IgpProtocol):
                 changed = True
         if changed:
             self._schedule_update(router_id)
+        if lost_routes:
+            # A poison took a route away; ask other neighbors whether
+            # they still know an alternate path.
+            self._solicit(router_id)
 
     # -- lifecycle --------------------------------------------------------------------
     def start(self) -> None:
@@ -168,6 +198,15 @@ class DistanceVectorRouting(IgpProtocol):
             # invalidated by topology change can be re-learned from
             # neighbors whose own tables did not change.
             self.scheduler.schedule(0.0, lambda r=router_id: self._schedule_update(r))
+
+    # -- failure detection ------------------------------------------------------
+    def _react_to_link_change(self, router_id: str) -> None:
+        # Purge routes via the dead adjacency (poison), push the change
+        # to neighbors, and solicit full tables so alternates via other
+        # neighbors can be re-learned.
+        self._reoriginate(router_id)
+        self._schedule_update(router_id)
+        self._solicit(router_id)
 
     # -- route installation ---------------------------------------------------------
     def install_routes(self) -> None:

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.net.address import IPv4Address, Prefix
 from repro.net.domain import Domain
 from repro.net.errors import RoutingError
+from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.simulator import EventScheduler, MessageStats
@@ -35,6 +36,11 @@ from repro.net.simulator import EventScheduler, MessageStats
 #: The cost is uniform across members, so it never changes *which*
 #: member is closest; it only discourages transit through the address.
 ANYCAST_STUB_COST = 1000.0
+
+#: Delay between observing a link event and reacting to it.  Dampens
+#: flapping links: a burst of events at one router collapses into a
+#: single re-advertisement when the timer expires.
+HOLD_DOWN_DELAY = 0.5
 
 
 class IgpProtocol(abc.ABC):
@@ -52,6 +58,9 @@ class IgpProtocol(abc.ABC):
         #: router_id -> {anycast address -> stub cost} advertisements.
         self._anycast_adverts: Dict[str, Dict[IPv4Address, float]] = {}
         self._started = False
+        #: Per-router hold-down: routers with a pending reaction timer.
+        self._holddown_pending: Set[str] = set()
+        self.hold_down = HOLD_DOWN_DELAY
 
     # -- lifecycle -----------------------------------------------------------
     @abc.abstractmethod
@@ -73,6 +82,43 @@ class IgpProtocol(abc.ABC):
         processed = self.scheduler.run_until_idle(max_events=max_events)
         self.install_routes()
         return processed
+
+    # -- failure detection -----------------------------------------------------
+    def on_link_change(self, link: Link) -> None:
+        """Notify the IGP that one of its domain's links changed state.
+
+        Each endpoint router arms a hold-down timer
+        (:data:`HOLD_DOWN_DELAY`); when it expires the router withdraws
+        and re-advertises its view of the topology
+        (:meth:`_react_to_link_change`).  Repeated events while the
+        timer is armed coalesce into one reaction — the classic
+        dampening trade-off between reconvergence speed and update
+        churn under flapping.
+        """
+        if not self._started:
+            return  # first convergence will see the final link state
+        for endpoint in (link.a, link.b):
+            if endpoint in self.domain.routers:
+                self._schedule_holddown(endpoint)
+
+    def _schedule_holddown(self, router_id: str) -> None:
+        if router_id in self._holddown_pending:
+            return
+        self._holddown_pending.add(router_id)
+        self.scheduler.schedule(
+            self.hold_down, lambda r=router_id: self._holddown_expired(r))
+
+    def _holddown_expired(self, router_id: str) -> None:
+        self._holddown_pending.discard(router_id)
+        if router_id not in self.domain.routers:
+            return
+        if not self.network.node(router_id).up:
+            return  # crashed routers stay silent; recovery renotifies
+        self._react_to_link_change(router_id)
+
+    def _react_to_link_change(self, router_id: str) -> None:
+        """Protocol-specific reaction once a hold-down timer expires."""
+        self.refresh()
 
     # -- anycast extension -----------------------------------------------------
     def advertise_anycast(self, router_id: str, address: IPv4Address,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.net.address import IPv4Address, Prefix
 from repro.net.domain import Domain
 from repro.net.errors import RoutingError
+from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.node import FibEntry, RouteSource
 from repro.net.simulator import EventScheduler
@@ -77,12 +78,14 @@ class LinkStateRouting(IgpProtocol):
             if neighbor_id == exclude:
                 continue
             self.stats.record_send()
-            self.scheduler.schedule(
+            self.scheduler.schedule_message(
                 delay, lambda n=neighbor_id, s=from_router, l=lsa: self._receive(n, s, l))
 
     def _receive(self, router_id: str, sender: str, lsa: Lsa) -> None:
         if router_id not in self._lsdb:
             return  # router left the domain mid-flight
+        if not self.network.node(router_id).up:
+            return  # crashed router: message lost on the floor
         self.stats.record_delivery()
         current = self._lsdb[router_id].get(lsa.origin)
         if current is not None and current.seq >= lsa.seq:
@@ -106,6 +109,40 @@ class LinkStateRouting(IgpProtocol):
             stored = self._lsdb[router_id].get(router_id)
             if stored is None or stored.content_key() != fresh.content_key():
                 self.scheduler.schedule(0.0, lambda r=router_id: self._originate(r))
+
+    # -- failure detection ------------------------------------------------------
+    def on_link_change(self, link: Link) -> None:
+        super().on_link_change(link)
+        if not self._started or not link.up:
+            return
+        # An adjacency (re)formed.  Besides re-originating LSAs, the two
+        # endpoints exchange full databases (OSPF's DB-description phase)
+        # so state that changed while they were partitioned propagates:
+        # seq-number dedup in _receive makes replaying stale LSAs safe.
+        if link.a in self.domain.routers and link.b in self.domain.routers:
+            self.scheduler.schedule(
+                self.hold_down,
+                lambda a=link.a, b=link.b: self._sync_adjacency(a, b))
+
+    def _sync_adjacency(self, a: str, b: str) -> None:
+        for source, target in ((a, b), (b, a)):
+            if source not in self._lsdb or target not in self._lsdb:
+                continue
+            if not self.network.node(source).up:
+                continue
+            link = self.network.link_between(source, target)
+            if link is None or not link.up:
+                continue
+            for lsa in list(self._lsdb[source].values()):
+                self.stats.record_send()
+                self.scheduler.schedule_message(
+                    link.delay,
+                    lambda t=target, s=source, l=lsa: self._receive(t, s, l))
+
+    def _react_to_link_change(self, router_id: str) -> None:
+        # Only the routers adjacent to the event re-originate; flooding
+        # carries the change to the rest of the domain.
+        self._originate(router_id)
 
     # -- SPF and route installation ---------------------------------------------
     def _spf(self, router_id: str) -> Dict[str, Tuple[float, Optional[str]]]:

@@ -151,10 +151,19 @@ class VnDeployment:
 
     # -- control-plane rebuild ---------------------------------------------------------
     def rebuild(self) -> None:
-        """Reconverge everything after adoption changes."""
+        """Reconverge everything after adoption (or liveness) changes."""
         self.orchestrator.reconverge()
         self.scheme.post_converge_install()
-        members_by_domain = self.members_by_domain()
+        # Crashed members cannot terminate tunnels or own prefixes; the
+        # vN-Bone is rebuilt over the survivors so that delivery fails
+        # over exactly as the paper's anycast argument promises.
+        live = self.live_members()
+        members_by_domain = {
+            asn: members & live
+            for asn, members in self.members_by_domain().items()}
+        members_by_domain = {asn: members
+                             for asn, members in members_by_domain.items()
+                             if members}
         self.tunnels = self.topology.build(members_by_domain, self._join_order)
         for state in self.states.values():
             state.neighbors.clear()
@@ -180,8 +189,9 @@ class VnDeployment:
     def _owner_entries(self, members_by_domain: Dict[int, Set[str]]
                        ) -> List[OwnerEntry]:
         entries: List[OwnerEntry] = []
+        live = self.live_members()
         # Members' own IPvN addresses.
-        for router_id in sorted(self.states):
+        for router_id in sorted(live):
             state = self.states[router_id]
             entries.append(OwnerEntry(
                 prefix=self._host_prefix(state.vn_address), owner=router_id,
@@ -202,7 +212,7 @@ class VnDeployment:
                     origin="host"))
         # External (non-adopting) destination domains.
         adopting = set(members_by_domain)
-        members = sorted(self.states)
+        members = sorted(live)
         if self.egress_policy is EgressPolicy.PROXY:
             entries.extend(self.proxy.owner_entries(members, adopting))
         else:
@@ -213,7 +223,7 @@ class VnDeployment:
         # HOST_ADVERTISED egress design, and mobility (a moved host's
         # pinned address advertised from its new attachment).
         entries.extend(self.host_registry.owner_entries(
-            self.network, set(self.states)))
+            self.network, live))
         return entries
 
     @staticmethod
@@ -276,6 +286,10 @@ class VnDeployment:
     # -- inspection ----------------------------------------------------------------------------
     def members(self) -> Set[str]:
         return set(self.states)
+
+    def live_members(self) -> Set[str]:
+        """Members whose router is currently up (fault injection)."""
+        return {rid for rid in self.states if self.network.node(rid).up}
 
     def members_by_domain(self) -> Dict[int, Set[str]]:
         result: Dict[int, Set[str]] = {}

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.net import Domain, Network, Prefix, Relationship
 from repro.core.orchestrator import Orchestrator
+
+try:  # hypothesis is a dev dependency; the suite must run without it
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("ci", derandomize=True, deadline=None)
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
 
 
 def build_two_domain_network() -> Network:

@@ -58,6 +58,19 @@ class TestReachability:
             main(["trace", "--seed", "3", "--src", "ghost"])
 
 
+class TestFaults:
+    def test_crash_and_failover_json(self, capsys):
+        code = main(["faults", "--sample", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["victim"] is not None
+        assert data["member_after_recovery"] == data["victim"]
+        assert data["faults_applied"] and len(data["epochs"]) == 2
+        for epoch in data["epochs"]:
+            assert epoch["recovered"]["delivery_ratio"] == 1.0
+
+
 class TestAdoption:
     def test_table(self, capsys):
         assert main(["adoption", "--seeds", "2", "--rounds", "40"]) == 0

@@ -1,0 +1,121 @@
+"""The paper's anycast failover claim, tested end to end.
+
+Section 3.2: because anycast is implemented *in* the routing system,
+member failure needs no dedicated failover machinery — "if the nearest
+IPvN router fails, the routing protocols will automatically redirect
+packets to the next closest IPvN router."  These tests kill the
+resolved nearest member with the fault injector, let the control plane
+reconverge, and assert that delivery shifted to the next-nearest *live*
+member — over several topologies and under both IGP families.
+"""
+
+import pytest
+
+from repro.anycast.global_routes import GlobalAnycast
+from repro.core.evolution import EvolvableInternet
+from repro.core.metrics import ReachabilityReport
+from repro.core.orchestrator import Orchestrator
+from repro.faults import FaultInjector, FaultPlan
+from repro.topogen import InternetSpec
+
+from tests.topogen.fixtures import FAILOVER_CASES
+
+IGP_KINDS = ("linkstate", "distancevector")
+
+
+def converged_scheme(case, igp_kind):
+    net = case.build()
+    orch = Orchestrator(net, igp_kind=igp_kind)
+    scheme = GlobalAnycast(orch, "vn")
+    for member in case.members:
+        scheme.add_member(member)
+    orch.converge()
+    scheme.post_converge_install()
+    return net, orch, scheme
+
+
+@pytest.mark.parametrize("igp_kind", IGP_KINDS)
+@pytest.mark.parametrize("case", FAILOVER_CASES, ids=lambda c: c.name)
+class TestFailoverInvariant:
+    def test_nearest_member_resolves_first(self, case, igp_kind):
+        _, _, scheme = converged_scheme(case, igp_kind)
+        assert scheme.resolve(case.probe) == case.victim
+        oracle = scheme.optimal_member_cost(case.probe)
+        assert oracle is not None and oracle[0] == case.victim
+
+    def test_crash_shifts_delivery_to_next_nearest(self, case, igp_kind):
+        net, orch, scheme = converged_scheme(case, igp_kind)
+
+        def workload():
+            report = ReachabilityReport()
+            trace = scheme.probe(case.probe)
+            report.attempted = 1
+            if trace.delivered:
+                report.delivered = 1
+            else:
+                report.failures[trace.outcome.value] = 1
+            return report
+
+        plan = FaultPlan().crash_node(case.victim, at=10.0)
+        reports = FaultInjector(orch, plan).play(workload)
+        scheme.post_converge_install()
+        (report,) = reports
+        # Transiently the probe black-holes towards the dead member...
+        assert report.transient_losses == 1
+        # ...but reconvergence redirects it, with zero failover config.
+        assert report.recovered_delivery_ratio == 1.0
+        survivor = scheme.resolve(case.probe)
+        assert survivor == case.heir
+        # And the heir really is the next-nearest live member (oracle).
+        oracle = scheme.optimal_member_cost(case.probe)
+        assert oracle is not None and oracle[0] == survivor
+
+    def test_recovery_restores_the_original_member(self, case, igp_kind):
+        net, orch, scheme = converged_scheme(case, igp_kind)
+        plan = (FaultPlan()
+                .crash_node(case.victim, at=10.0)
+                .recover_node(case.victim, at=80.0))
+        FaultInjector(orch, plan).play()
+        scheme.post_converge_install()
+        assert scheme.resolve(case.probe) == case.victim
+
+    def test_reconvergence_time_is_reported(self, case, igp_kind):
+        net, orch, scheme = converged_scheme(case, igp_kind)
+        plan = FaultPlan().crash_node(case.victim, at=10.0)
+        (report,) = FaultInjector(orch, plan).play()
+        assert report.reconvergence_time is not None
+        assert report.reconvergence_time > 0.0
+        assert report.events_processed > 0
+
+
+class TestDeploymentFailover:
+    """Failover under a full IPvN deployment on a generated internet."""
+
+    @pytest.fixture
+    def internet(self):
+        spec = InternetSpec(n_tier1=3, n_tier2=4, n_stub=8, hosts_per_stub=1,
+                            routers_tier1=5, seed=47)
+        return EvolvableInternet.generate(spec, seed=47)
+
+    def test_vn_reachability_survives_member_crash(self, internet):
+        deployment = internet.new_deployment(version=8, scheme="default")
+        deployment.deploy(deployment.scheme.default_asn)
+        for asn in internet.stub_asns()[:2]:
+            deployment.deploy(asn)
+        deployment.rebuild()
+        host = internet.hosts()[0]
+        victim = deployment.scheme.resolve(host)
+        assert victim is not None
+        plan = (FaultPlan()
+                .crash_node(victim, at=10.0)
+                .recover_node(victim, at=200.0))
+        injector = FaultInjector(internet.orchestrator, plan,
+                                 deployments=[deployment])
+        crash_report, recover_report = injector.play(
+            workload=lambda: internet.reachability(8, sample=10))
+        # While the victim is down, deliveries shift to live members.
+        assert crash_report.recovered_delivery_ratio == 1.0
+        assert deployment.scheme.resolve(host) == victim  # healed again
+        assert victim in deployment.live_members()
+        # Recovery epoch: full delivery with the original member back.
+        assert recover_report.recovered_delivery_ratio == 1.0

@@ -1,0 +1,207 @@
+"""Integration tests for the fault injector against live control planes."""
+
+import pytest
+
+from repro.core.metrics import measure_reachability
+from repro.core.orchestrator import Orchestrator
+from repro.faults import FaultInjector, FaultPlan
+from repro.net import Outcome, ipv4_packet
+from repro.net.errors import FaultError
+
+from tests.conftest import build_two_domain_network
+from tests.topogen.fixtures import ring_domain
+
+IGP_KINDS = ("linkstate", "distancevector")
+
+
+def ring_orchestrator(igp_kind):
+    net = ring_domain(4)
+    orch = Orchestrator(net, igp_kind=igp_kind)
+    orch.converge()
+    return net, orch
+
+
+def send(orch, src, dst):
+    net = orch.network
+    packet = ipv4_packet(net.node(src).ipv4, net.node(dst).ipv4)
+    return orch.forward(packet, src)
+
+
+class TestLinkFaults:
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_transient_loss_then_reroute(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        assert send(orch, "r0", "r2").node_path() == ["r0", "r1", "r2"]
+
+        def workload():
+            return measure_reachability(net, lambda s, d: send(orch, s, d),
+                                        [("r0", "r2")])
+
+        plan = FaultPlan().link_down("r0", "r1", at=10.0)
+        reports = FaultInjector(orch, plan).play(workload)
+        (report,) = reports
+        # Before reconvergence the stale FIB forwards into the dead link.
+        assert report.transient_losses == 1
+        assert report.transient.failures == {"fault-dropped": 1}
+        # After reconvergence delivery resumes on the surviving path.
+        assert report.recovered_delivery_ratio == 1.0
+        assert send(orch, "r0", "r2").node_path() == ["r0", "r3", "r2"]
+        assert report.reconvergence_time > 0.0
+        assert report.events_processed > 0
+
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_link_repair_restores_shortest_path(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        plan = (FaultPlan()
+                .link_down("r0", "r1", at=10.0)
+                .link_up("r0", "r1", at=50.0))
+        FaultInjector(orch, plan).play()
+        assert send(orch, "r0", "r1").node_path() == ["r0", "r1"]
+        assert send(orch, "r0", "r2").delivered
+
+
+class TestNodeFaults:
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_crash_and_recover_cycle(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        plan = (FaultPlan()
+                .crash_node("r1", at=10.0)
+                .recover_node("r1", at=60.0))
+        reports = FaultInjector(orch, plan).play()
+        assert len(reports) == 2
+        # Recovery restored both the node and its crash-failed links.
+        assert net.node("r1").up
+        assert net.link_between("r0", "r1").up
+        assert net.link_between("r1", "r2").up
+        # r0->r2 is a cost tie on the 4-ring; either path is optimal,
+        # but the recovered router must be reachable again.
+        assert send(orch, "r0", "r2").physical_hops == 2
+        assert send(orch, "r0", "r1").delivered
+
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_crashed_node_unreachable_after_reconvergence(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        plan = FaultPlan().crash_node("r1", at=10.0)
+        FaultInjector(orch, plan).play()
+        trace = send(orch, "r0", "r1")
+        assert not trace.delivered
+        # Routing withdrew the dead router; survivors still reach each other.
+        assert send(orch, "r0", "r2").delivered
+
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_adjacent_double_crash_recovers_shared_link(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        plan = (FaultPlan()
+                .crash_node("r1", at=10.0)
+                .crash_node("r2", at=10.0)
+                .recover_node("r1", at=60.0)
+                .recover_node("r2", at=80.0))
+        FaultInjector(orch, plan).play()
+        # The r1<->r2 link died with the first crash; it must come back
+        # once its *last* crashed endpoint recovers.
+        assert net.link_between("r1", "r2").up
+        assert send(orch, "r0", "r2").delivered
+
+    def test_restoring_link_of_crashed_node_is_an_error(self):
+        net, orch = ring_orchestrator("linkstate")
+        plan = (FaultPlan()
+                .crash_node("r1", at=10.0)
+                .link_up("r0", "r1", at=20.0))
+        with pytest.raises(FaultError, match="crashed"):
+            FaultInjector(orch, plan).play()
+
+
+class TestMessageFaults:
+    @pytest.mark.parametrize("igp_kind", IGP_KINDS)
+    def test_lossy_window_still_converges(self, igp_kind):
+        net, orch = ring_orchestrator(igp_kind)
+        plan = (FaultPlan()
+                .message_loss(start=5.0, end=40.0, prob=0.3)
+                .link_down("r0", "r1", at=10.0))
+        reports = FaultInjector(orch, plan).play()
+        scheduler = orch.scheduler
+        assert scheduler.messages_lost > 0
+        # The loss window closed; perturbation is gone.
+        assert scheduler.message_perturbation is None
+        # Even with 30% control-message loss the IGP converged to the
+        # alternate path (retries come from solicitation/flooding).
+        assert send(orch, "r0", "r2").delivered
+
+
+class TestInterDomain:
+    def test_peering_link_fault_withdraws_bgp_routes(self):
+        net = build_two_domain_network()
+        orch = Orchestrator(net)
+        orch.converge()
+        assert send(orch, "h1", "h2").delivered
+        plan = (FaultPlan()
+                .link_down("r1b", "r2b", at=10.0)
+                .link_up("r1b", "r2b", at=50.0))
+        injector = FaultInjector(orch, plan)
+
+        # Run the first epoch only, by splitting the plan.
+        down_only = FaultPlan().link_down("r1b", "r2b", at=10.0)
+        net2 = build_two_domain_network()
+        orch2 = Orchestrator(net2)
+        orch2.converge()
+        FaultInjector(orch2, down_only).play()
+        trace = send(orch2, "h1", "h2")
+        assert not trace.delivered
+        # BGP withdrew the route (session resync), so this is NO_ROUTE,
+        # not a packet black-holing into the dead link.
+        assert trace.outcome is Outcome.NO_ROUTE
+
+        # Full down/up cycle heals end to end.
+        injector.play()
+        assert send(orch, "h1", "h2").delivered
+
+    def test_whole_domain_crash_flushes_speaker(self):
+        net = build_two_domain_network()
+        orch = Orchestrator(net)
+        orch.converge()
+        plan = (FaultPlan()
+                .crash_node("r2a", at=10.0)
+                .crash_node("r2b", at=10.0)
+                .recover_node("r2a", at=60.0)
+                .recover_node("r2b", at=60.0))
+        FaultInjector(orch, plan).play()
+        # After the full cycle AS2 reannounced and reachability healed.
+        assert send(orch, "h1", "h2").delivered
+        assert send(orch, "h2", "h1").delivered
+
+    def test_whole_domain_crash_is_no_route_while_down(self):
+        net = build_two_domain_network()
+        orch = Orchestrator(net)
+        orch.converge()
+        plan = FaultPlan().crash_node("r2a", at=10.0).crash_node("r2b", at=10.0)
+        FaultInjector(orch, plan).play()
+        trace = send(orch, "h1", "h2")
+        assert not trace.delivered
+        assert trace.outcome is Outcome.NO_ROUTE
+
+
+class TestInjectorLifecycle:
+    def test_replay_is_rejected(self):
+        net, orch = ring_orchestrator("linkstate")
+        plan = FaultPlan().link_down("r0", "r1", at=10.0)
+        injector = FaultInjector(orch, plan)
+        injector.play()
+        with pytest.raises(FaultError, match="already played"):
+            injector.play()
+
+    def test_plan_validated_eagerly(self):
+        net, orch = ring_orchestrator("linkstate")
+        plan = FaultPlan().crash_node("ghost", at=1.0)
+        with pytest.raises(FaultError, match="unknown node"):
+            FaultInjector(orch, plan)
+
+    def test_records_audit_log(self):
+        net, orch = ring_orchestrator("linkstate")
+        plan = FaultPlan().link_down("r0", "r1", at=10.0).crash_node("r2", at=20.0)
+        injector = FaultInjector(orch, plan)
+        injector.play()
+        assert [record.description for record in injector.records] == [
+            "link-down r0<->r1", "node-crash r2"]
+        first, second = injector.records
+        # Plan times are scenario-relative; the epochs stay 10 apart.
+        assert second.time - first.time == 10.0

@@ -75,7 +75,21 @@ class TestIPv4Forwarding:
         engine = ForwardingEngine(net)
         packet = ipv4_packet(net.node("r0").ipv4, net.node("r2").ipv4)
         trace = engine.forward(packet, "r0")
-        assert trace.outcome is Outcome.NO_ROUTE
+        # A FIB entry pointing over a dead link is a fault drop, not a
+        # missing route: the distinction feeds the transient-loss
+        # counters of the fault-injection subsystem.
+        assert trace.outcome is Outcome.FAULT_DROPPED
+        assert trace.faulted
+        assert "link r0<->r1 is down" in trace.drop_reason
+
+    def test_crashed_node_drops(self):
+        net = line_network()
+        net.crash_node("r1")
+        engine = ForwardingEngine(net)
+        packet = ipv4_packet(net.node("r0").ipv4, net.node("r2").ipv4)
+        trace = engine.forward(packet, "r0")
+        assert trace.outcome is Outcome.FAULT_DROPPED
+        assert trace.faulted
 
     def test_routing_loop_detected(self):
         net = line_network(2)

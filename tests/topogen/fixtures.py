@@ -1,0 +1,96 @@
+"""Named topology fixtures for fault-injection and failover tests.
+
+Each :class:`FailoverCase` is a single-domain topology where the
+paper's anycast failover claim is decidable by inspection: the probe
+node has a unique nearest member (the *victim*), the victim is not a
+cut vertex (crashing it must not partition the probe from the group),
+and a unique next-nearest member (the *heir*) exists.  Tests
+parametrize these cases over both IGP kinds — the claim in Section 3.2
+is explicitly IGP-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.net import Domain, Network, Prefix
+
+from tests.conftest import build_hub_network, build_two_domain_network
+
+__all__ = ["FailoverCase", "FAILOVER_CASES", "build_hub_network",
+           "build_two_domain_network", "line_domain", "ring_domain",
+           "theta_domain"]
+
+
+def _single_domain(name: str) -> Network:
+    net = Network()
+    net.add_domain(Domain(asn=1, name=name, prefix=Prefix.parse("10.1.0.0/16")))
+    return net
+
+
+def line_domain(n: int = 5) -> Network:
+    """r0 - r1 - ... - r(n-1), unit costs."""
+    net = _single_domain("line")
+    for i in range(n):
+        net.add_router(f"r{i}", 1)
+    for i in range(n - 1):
+        net.add_link(f"r{i}", f"r{i + 1}")
+    return net
+
+
+def ring_domain(n: int = 6) -> Network:
+    """A unit-cost ring of *n* routers: no single crash partitions it."""
+    net = _single_domain("ring")
+    for i in range(n):
+        net.add_router(f"r{i}", 1)
+    for i in range(n):
+        net.add_link(f"r{i}", f"r{(i + 1) % n}")
+    return net
+
+
+def theta_domain() -> Network:
+    """Two hubs joined by three disjoint 2-hop branches (a theta graph).
+
+        r0 - a - r5
+        r0 - b - r5
+        r0 - c - r5
+
+    Dense enough that any single router crash leaves the rest
+    biconnected through the other branches.
+    """
+    net = _single_domain("theta")
+    net.add_router("r0", 1)
+    net.add_router("r5", 1)
+    for mid in ("a", "b", "c"):
+        net.add_router(mid, 1)
+        net.add_link("r0", mid)
+        net.add_link(mid, "r5")
+    return net
+
+
+@dataclass(frozen=True)
+class FailoverCase:
+    """One decidable anycast-failover scenario (see module docstring)."""
+
+    name: str
+    build: Callable[[], Network]
+    members: Tuple[str, ...]
+    probe: str
+    victim: str  # unique nearest member from `probe`
+    heir: str  # unique next-nearest member once `victim` is down
+
+
+FAILOVER_CASES = (
+    # Probe r2 sits between the members: r1 at cost 1, r4 at cost 2.
+    FailoverCase(name="line", build=line_domain,
+                 members=("r1", "r4"), probe="r2", victim="r1", heir="r4"),
+    # On the 6-ring from r2: r1 at cost 1; after r1 dies, r4 at cost 2
+    # via r3 (the long way to r1's side is gone with r1).
+    FailoverCase(name="ring", build=ring_domain,
+                 members=("r1", "r4"), probe="r2", victim="r1", heir="r4"),
+    # From branch router `a`: hub r0 at cost 1, hub r5 at cost 1 is a
+    # tie — so make members a hub and a branch: r0 at 1, c at 2.
+    FailoverCase(name="theta", build=theta_domain,
+                 members=("r0", "c"), probe="a", victim="r0", heir="c"),
+)
