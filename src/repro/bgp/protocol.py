@@ -28,6 +28,7 @@ from repro.net.link import LinkScope
 from repro.net.network import Network
 from repro.net.node import FibEntry, RouteSource, Router
 from repro.net.simulator import EventScheduler, MessageStats
+from repro.obs import get_obs
 from repro.bgp.policy import BgpPolicy
 from repro.bgp.routes import (LOCAL_PREF_ORIGINATED, BgpRoute, BgpUpdate,
                               RouteScope)
@@ -92,6 +93,9 @@ class BgpProtocol:
         self.scheduler = scheduler
         self.policy = policy if policy is not None else BgpPolicy()
         self.stats = MessageStats()
+        self.obs = get_obs()
+        self._c_announcements = self.obs.counter("bgp.announcements")
+        self._c_withdrawals = self.obs.counter("bgp.withdrawals")
         self.speakers: Dict[int, BgpSpeaker] = {
             asn: BgpSpeaker(domain) for asn, domain in network.domains.items()}
         #: Sessions torn down by resync, awaiting physical restoration.
@@ -165,6 +169,11 @@ class BgpProtocol:
         if update.sender_asn in self._down_speakers:
             return  # crashed speakers fall silent
         self.stats.record_send()
+        if self.obs.enabled:
+            if update.is_withdrawal:
+                self._c_withdrawals.inc()
+            else:
+                self._c_announcements.inc()
         self.scheduler.schedule_message(SESSION_DELAY,
                                         lambda: self._receive(to_asn, update))
 
@@ -249,6 +258,11 @@ class BgpProtocol:
                     if best is not None:
                         self._export(speaker, prefix, best)
                 changed += 1
+        if changed and self.obs.enabled:
+            self.obs.counter("bgp.speaker_transitions").inc(changed)
+            self.obs.event("bgp.resync_speakers", t=self.scheduler.now,
+                           changed=changed,
+                           down=sorted(self._down_speakers))
         return changed
 
     def resync_sessions(self) -> int:
@@ -275,11 +289,17 @@ class BgpProtocol:
                 if alive:
                     if key in self._down_sessions:
                         self._down_sessions.discard(key)
+                        if self.obs.enabled:
+                            self.obs.counter("bgp.sessions_restored").inc()
                         self.reannounce(asn)
                     continue
+                if key not in self._down_sessions and self.obs.enabled:
+                    self.obs.counter("bgp.sessions_torn_down").inc()
                 self._down_sessions.add(key)
                 if self._flush_neighbor(asn, neighbor_asn):
                     flushed_pairs += 1
+        if flushed_pairs and self.obs.enabled:
+            self.obs.counter("bgp.sessions_flushed").inc(flushed_pairs)
         return flushed_pairs
 
     def _flush_neighbor(self, asn: int, neighbor_asn: int) -> bool:

@@ -7,10 +7,15 @@ Runs the library's headline experiments from the shell:
 * ``reachability`` — measure universal access over sampled host pairs;
 * ``adoption`` — run the Section 2.1 adoption-dynamics comparison;
 * ``faults`` — crash the nearest anycast member under a live IPvN
-  deployment and report the failover as JSON.
+  deployment and report the failover as JSON;
+* ``obs`` — run an experiment under the observability layer: structured
+  JSONL trace plus a metrics summary (scheduler event counts, SPF
+  recomputations, per-outcome forwarding counters, ...).
 
 Every command is seeded and deterministic; ``--save``/``--load`` move
-topologies through the JSON format in :mod:`repro.net.serialize`.
+topologies through the JSON format in :mod:`repro.net.serialize`; all
+JSON output goes through the shared ``to_dict()``/``json_safe``
+serialization contract.
 """
 
 from __future__ import annotations
@@ -102,6 +107,13 @@ def cmd_reachability(args: argparse.Namespace) -> int:
     deployment = _deploy(internet, args)
     report = internet.reachability(args.version, sample=args.sample,
                                    seed=args.seed)
+    if args.json:
+        import json
+
+        print(json.dumps({"adopters": sorted(deployment.adopting_asns()),
+                          "report": report.to_dict()},
+                         indent=2, sort_keys=True))
+        return 0 if report.delivery_ratio == 1.0 else 1
     print(f"adopters: {sorted(deployment.adopting_asns())}")
     print(f"host pairs attempted: {report.attempted}")
     print(f"delivered: {report.delivery_ratio:.1%}")
@@ -193,6 +205,100 @@ def _failover_member(scheme, deployment, probe: str, victim: str):
     return best[0] if best else None
 
 
+#: Counters the self-check requires after a traced anycast_failover run.
+_SELF_CHECK_COUNTERS = ("scheduler.events_scheduled", "scheduler.events_fired",
+                        "igp.ls.spf_runs", "forwarding.outcome.delivered",
+                        "faults.applied", "vnbone.rebuilds")
+
+
+def _parse_params(pairs) -> dict:
+    """``k=v`` pairs with JSON-typed values (``k=3`` is an int)."""
+    import json
+
+    params = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--param needs k=v, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run one experiment under the observability layer.
+
+    Prints a JSON summary (experiment result + metrics snapshot) and,
+    with ``--trace``, writes and validates the structured JSONL trace.
+    """
+    import json
+
+    from repro.experiments import available, describe, run
+    from repro.obs import Observability, Tracer, validate_trace
+
+    if args.list:
+        for experiment_id in available():
+            print(f"{experiment_id:>16}  {describe(experiment_id)}")
+        return 0
+    if args.self_check:
+        return _obs_self_check(args)
+    if not args.id:
+        print("obs: give an experiment id, --list, or --self-check")
+        return 2
+    params = _parse_params(args.param)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(args.trace, context={
+            "experiment": args.id, "seed": args.seed, "params": params})
+    obs = Observability(tracer=tracer)
+    result = run(args.id, seed=args.seed, params=params or None, obs=obs)
+    obs.close()
+    errors = []
+    if args.trace:
+        errors = validate_trace(args.trace)
+    summary = result.to_dict()
+    summary["trace_valid"] = not errors if args.trace else None
+    if errors:
+        summary["trace_errors"] = errors[:10]
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if errors else 0
+
+
+def _obs_self_check(args: argparse.Namespace) -> int:
+    """Smoke-test the observability pipeline end to end (CI hook)."""
+    import json
+    import os
+    import tempfile
+
+    from repro.experiments import run
+    from repro.obs import Observability, Tracer, validate_trace
+
+    handle, path = tempfile.mkstemp(prefix="repro-obs-", suffix=".jsonl")
+    os.close(handle)
+    try:
+        obs = Observability(tracer=Tracer(path, context={
+            "experiment": "anycast_failover", "seed": args.seed,
+            "self_check": True}))
+        result = run("anycast_failover", seed=args.seed, obs=obs)
+        obs.close()
+        errors = list(validate_trace(path))
+        counters = result.metrics.get("counters", {})
+        for name in _SELF_CHECK_COUNTERS:
+            if not counters.get(name):
+                errors.append(f"expected counter {name!r} to be nonzero")
+        status = {"ok": not errors, "trace_events": sum(
+            1 for _ in open(path, encoding="utf-8")),
+            "counters_checked": list(_SELF_CHECK_COUNTERS)}
+        if errors:
+            status["errors"] = errors[:10]
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if not errors else 1
+    finally:
+        os.unlink(path)
+
+
 def cmd_adoption(args: argparse.Namespace) -> int:
     print(f"{'seed':>5} {'UA share':>9} {'walled share':>13}")
     for seed in range(args.seeds):
@@ -229,6 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_deploy_options(p_reach)
     p_reach.add_argument("--sample", type=int, default=100,
                          help="host pairs to sample")
+    p_reach.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
     p_reach.set_defaults(func=cmd_reachability)
 
     p_exp = sub.add_parser("experiment",
@@ -259,6 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--sample", type=int, default=20,
                           help="host pairs per reachability probe")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_obs = sub.add_parser(
+        "obs", help="run an experiment under the observability layer")
+    p_obs.add_argument("id", nargs="?", metavar="ID",
+                       help="experiment id (e.g. anycast_failover, F1)")
+    p_obs.add_argument("--trace", metavar="FILE",
+                       help="write the structured JSONL trace here")
+    p_obs.add_argument("--seed", type=int, default=None,
+                       help="seed threaded to new-style runners")
+    p_obs.add_argument("--param", action="append", metavar="K=V",
+                       help="experiment parameter (repeatable; JSON values)")
+    p_obs.add_argument("--list", action="store_true",
+                       help="list available experiments")
+    p_obs.add_argument("--self-check", action="store_true",
+                       help="smoke-test the observability pipeline (CI)")
+    p_obs.set_defaults(func=cmd_obs)
     return parser
 
 

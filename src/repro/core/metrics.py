@@ -138,6 +138,15 @@ class ReachabilityReport:
             key = trace.outcome.value
             self.failures[key] = self.failures.get(key, 0) + 1
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe form (shared serialization contract)."""
+        return {"attempted": self.attempted, "delivered": self.delivered,
+                "delivery_ratio": self.delivery_ratio,
+                "failures": dict(sorted(self.failures.items())),
+                "mean_stretch": self.mean_stretch,
+                "median_stretch": self.median_stretch,
+                "max_stretch": self.max_stretch}
+
 
 @dataclass
 class FaultEpochReport:
@@ -179,12 +188,7 @@ class FaultEpochReport:
 
     def to_dict(self) -> Dict[str, object]:
         def report_dict(report: Optional[ReachabilityReport]) -> Optional[Dict[str, object]]:
-            if report is None:
-                return None
-            return {"attempted": report.attempted, "delivered": report.delivered,
-                    "delivery_ratio": report.delivery_ratio,
-                    "failures": dict(sorted(report.failures.items())),
-                    "mean_stretch": report.mean_stretch}
+            return report.to_dict() if report is not None else None
 
         return {"time": self.time, "events": list(self.events),
                 "reconverged_at": self.reconverged_at,

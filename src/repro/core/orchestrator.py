@@ -17,6 +17,7 @@ needs IGP routes to border loopbacks), then BGP.  Deployment actions
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from repro.net.errors import RoutingError
@@ -25,6 +26,7 @@ from repro.net.link import Link, LinkScope
 from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.net.simulator import EventScheduler
+from repro.obs import get_obs
 from repro.bgp.policy import BgpPolicy, BilateralAgreements
 from repro.bgp.protocol import BgpProtocol
 from repro.routing.distancevector import DistanceVectorRouting
@@ -44,7 +46,8 @@ class Orchestrator:
         if igp_kind not in IGP_KINDS:
             raise RoutingError(f"unknown IGP kind {igp_kind!r}; choose from {IGP_KINDS}")
         self.network = network
-        self.scheduler = EventScheduler(seed=seed)
+        self.obs = get_obs()
+        self.scheduler = EventScheduler(seed=seed, obs=self.obs)
         self.policy = policy if policy is not None else BgpPolicy()
         self.bgp = BgpProtocol(network, self.scheduler, policy=self.policy)
         self.engine = ForwardingEngine(network)
@@ -57,6 +60,9 @@ class Orchestrator:
             cls = LinkStateRouting if kind == "linkstate" else DistanceVectorRouting
             self.igps[asn] = cls(network, domain, self.scheduler)
         self._converged = False
+        if self.obs.enabled:
+            self.obs.event("topology", seed=seed, igp_kind=igp_kind,
+                           **network.stats())
 
     @property
     def agreements(self) -> BilateralAgreements:
@@ -71,6 +77,9 @@ class Orchestrator:
     # -- convergence -------------------------------------------------------------
     def converge(self, max_events: int = 5_000_000) -> int:
         """Run all protocols to quiescence and install forwarding state."""
+        observed = self.obs.enabled
+        if observed:
+            wall0 = time.perf_counter()
         processed = 0
         for asn in sorted(self.igps):
             igp = self.igps[asn]
@@ -83,6 +92,12 @@ class Orchestrator:
         processed += self.scheduler.run_until_idle(max_events=max_events)
         self.bgp.install_routes()
         self._converged = True
+        if observed:
+            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            self.obs.counter("orchestrator.convergences").inc()
+            self.obs.histogram("orchestrator.converge_wall_ms").observe(wall_ms)
+            self.obs.event("orchestrator.converge", t=self.scheduler.now,
+                           events=processed, wall_ms=wall_ms)
         return processed
 
     def reconverge(self, max_events: int = 5_000_000) -> int:
@@ -95,6 +110,9 @@ class Orchestrator:
         """
         if not self._converged:
             return self.converge(max_events=max_events)
+        observed = self.obs.enabled
+        if observed:
+            wall0 = time.perf_counter()
         for asn in sorted(self.igps):
             self.igps[asn].refresh()
         # Tear down crashed speakers and BGP sessions whose physical
@@ -103,6 +121,12 @@ class Orchestrator:
         self.bgp.resync_sessions()
         processed = self.scheduler.run_until_idle(max_events=max_events)
         self.install_routes()
+        if observed:
+            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            self.obs.counter("orchestrator.reconvergences").inc()
+            self.obs.histogram("orchestrator.reconverge_wall_ms").observe(wall_ms)
+            self.obs.event("orchestrator.reconverge", t=self.scheduler.now,
+                           events=processed, wall_ms=wall_ms)
         return processed
 
     def install_routes(self) -> None:

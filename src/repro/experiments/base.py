@@ -1,4 +1,4 @@
-"""The experiment registry and result type.
+"""The experiment registry, result type, and run API.
 
 Every reproduced figure and claim is a callable registered here, so the
 full evaluation is available programmatically::
@@ -12,19 +12,48 @@ full evaluation is available programmatically::
 and from the shell (``python -m repro experiment F1``).  The benchmark
 suite (`benchmarks/`) wraps the same callables with pytest-benchmark
 timing and shape assertions.
+
+Runners come in two signatures:
+
+* **new-style** — accepts ``seed`` and/or ``params`` keywords (or
+  ``**kwargs``); :func:`run` threads the caller's values through.
+* **zero-arg** (deprecated) — takes nothing.  Still runs, but passing
+  ``seed``/``params`` to one raises a :class:`DeprecationWarning` and
+  the values are dropped.
+
+:func:`run` also drives the observability layer: pass an
+:class:`~repro.obs.Observability` and the runner executes under
+:func:`~repro.obs.observing`, so every scheduler/IGP/BGP/forwarding
+object the experiment constructs binds to it.  The returned
+:class:`ExperimentResult` then carries ``metrics`` (the registry
+snapshot) and ``trace_path``.
 """
 
 from __future__ import annotations
 
+import inspect
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.net.errors import ReproError
+from repro.obs import Observability, observing
+from repro.obs.serialize import json_safe
+
+#: Keywords :func:`run` knows how to thread into a runner.
+_THREADABLE = ("seed", "params")
 
 
 @dataclass
 class ExperimentResult:
-    """One experiment's regenerated table plus its raw data."""
+    """One experiment's regenerated table plus its raw data.
+
+    ``metrics`` and ``trace_path`` are populated by :func:`run` when the
+    experiment executes under an enabled
+    :class:`~repro.obs.Observability`; ``seed`` and ``params`` echo what
+    the runner was invoked with (``None``/empty for zero-arg runners).
+    """
 
     experiment_id: str
     title: str
@@ -33,6 +62,12 @@ class ExperimentResult:
     #: Structured per-row data, for assertions and further analysis.
     data: object
     footer: str = ""
+    seed: Optional[int] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Metrics-registry snapshot from the run's Observability (if any).
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Where the structured JSONL trace was written (if tracing was on).
+    trace_path: Optional[str] = None
 
     def table(self) -> str:
         lines = [f"== {self.title} ==", self.header, "-" * len(self.header)]
@@ -41,28 +76,84 @@ class ExperimentResult:
             lines.append(self.footer)
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe form (shared serialization contract)."""
+        return {"experiment_id": self.experiment_id, "title": self.title,
+                "header": self.header, "rows": list(self.rows),
+                "data": json_safe(self.data), "footer": self.footer,
+                "seed": self.seed, "params": json_safe(self.params),
+                "metrics": json_safe(self.metrics),
+                "trace_path": self.trace_path}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
 
 @dataclass(frozen=True)
 class ExperimentInfo:
-    """Registry entry: id, one-line description, runner."""
+    """Registry entry: id, one-line description, runner, accepted kwargs."""
 
     experiment_id: str
     description: str
-    runner: Callable[[], ExperimentResult]
+    runner: Callable[..., ExperimentResult]
+    #: Which of (seed, params) the runner's signature accepts.
+    accepts: frozenset = frozenset()
+
+    def call(self, seed: Optional[int] = None,
+             params: Optional[Dict[str, object]] = None) -> ExperimentResult:
+        """Invoke the runner, threading whatever kwargs it accepts.
+
+        Passing ``seed``/``params`` to a zero-arg (deprecated-style)
+        runner warns and drops them rather than failing, so callers can
+        treat the whole registry uniformly.
+        """
+        kwargs: Dict[str, object] = {}
+        dropped: List[str] = []
+        for name, value in (("seed", seed), ("params", params)):
+            if value is None:
+                continue
+            if name in self.accepts:
+                kwargs[name] = value
+            else:
+                dropped.append(name)
+        if dropped:
+            warnings.warn(
+                f"experiment {self.experiment_id!r} has a zero-arg runner; "
+                f"ignoring {', '.join(dropped)} — add seed=/params= keywords "
+                "to the runner (zero-arg runners are deprecated)",
+                DeprecationWarning, stacklevel=3)
+        return self.runner(**kwargs)
 
 
 _REGISTRY: Dict[str, ExperimentInfo] = {}
 
 
+def _threadable_kwargs(runner: Callable[..., ExperimentResult]) -> frozenset:
+    """Which of ``seed``/``params`` can be passed to *runner* by keyword."""
+    try:
+        signature = inspect.signature(runner)
+    except (TypeError, ValueError):  # builtins / odd callables
+        return frozenset()
+    accepts = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return frozenset(_THREADABLE)
+        if parameter.name in _THREADABLE and parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY):
+            accepts.add(parameter.name)
+    return frozenset(accepts)
+
+
 def register(experiment_id: str, description: str):
     """Decorator registering an experiment runner under *experiment_id*."""
 
-    def wrap(runner: Callable[[], ExperimentResult]):
+    def wrap(runner: Callable[..., ExperimentResult]):
         if experiment_id in _REGISTRY:
             raise ReproError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = ExperimentInfo(
             experiment_id=experiment_id, description=description,
-            runner=runner)
+            runner=runner, accepts=_threadable_kwargs(runner))
         return runner
 
     return wrap
@@ -77,13 +168,43 @@ def describe(experiment_id: str) -> str:
     return _info(experiment_id).description
 
 
-def run(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"F1"``, ``"E5"``, ``"E12a"``)."""
-    return _info(experiment_id).runner()
+def run(experiment_id: str, *, seed: Optional[int] = None,
+        params: Optional[Dict[str, object]] = None,
+        obs: Optional[Observability] = None) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"F1"``, ``"E5"``, ``"E12a"``).
+
+    ``seed`` and ``params`` thread into new-style runners; ``obs``
+    activates the observability layer for the duration of the run (the
+    runner's scheduler, protocols, and forwarding engine bind to it at
+    construction).  The result is stamped with the run's metrics
+    snapshot and trace path.
+    """
+    info = _info(experiment_id)
+    if obs is None:
+        result = info.call(seed=seed, params=params)
+    else:
+        with observing(obs):
+            if obs.enabled:
+                obs.event("experiment.start", experiment=experiment_id,
+                          seed=seed, params=json_safe(params or {}))
+            result = info.call(seed=seed, params=params)
+            if obs.enabled:
+                obs.event("experiment.end", experiment=experiment_id)
+        if obs.enabled:
+            result.metrics = obs.metrics_summary()
+            result.trace_path = obs.trace_path
+    if seed is not None and result.seed is None:
+        result.seed = seed
+    if params and not result.params:
+        result.params = dict(params)
+    return result
 
 
-def run_many(experiment_ids: Iterable[str]) -> List[ExperimentResult]:
-    return [run(experiment_id) for experiment_id in experiment_ids]
+def run_many(experiment_ids: Iterable[str], *, seed: Optional[int] = None,
+             params: Optional[Dict[str, object]] = None,
+             obs: Optional[Observability] = None) -> List[ExperimentResult]:
+    return [run(experiment_id, seed=seed, params=params, obs=obs)
+            for experiment_id in experiment_ids]
 
 
 def _info(experiment_id: str) -> ExperimentInfo:

@@ -95,6 +95,7 @@ class FaultInjector:
                 "(fault application is stateful and not idempotent)")
         self._played = True
         scheduler = self.orchestrator.scheduler
+        obs = self.orchestrator.obs
         if not self.orchestrator._converged:  # noqa: SLF001 - injector drives lifecycle
             self.orchestrator.converge(max_events=max_events)
         start = scheduler.now
@@ -122,6 +123,15 @@ class FaultInjector:
             if workload is not None:
                 report.recovered = workload()
             reports.append(report)
+            if obs.enabled:
+                obs.counter("faults.epochs").inc()
+                obs.histogram("faults.reconvergence_sim_time").observe(
+                    report.reconvergence_time)
+                obs.event("fault.epoch", t=report.time,
+                          faults=len(report.events),
+                          reconverged_at=report.reconverged_at,
+                          reconvergence_time=report.reconvergence_time,
+                          events_processed=report.events_processed)
         self.epoch_reports = reports
         return reports
 
@@ -139,6 +149,12 @@ class FaultInjector:
         description = event.describe()
         self.records.append(FaultRecord(time=self.orchestrator.scheduler.now,
                                         description=description))
+        obs = self.orchestrator.obs
+        if obs.enabled:
+            obs.counter("faults.applied").inc()
+            obs.event("fault.apply", t=self.orchestrator.scheduler.now,
+                      fault=event.kind.value, target=list(event.target),
+                      description=description)
         return description
 
     def _apply_link_down(self, event: FaultEvent) -> None:

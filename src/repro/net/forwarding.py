@@ -33,6 +33,7 @@ from repro.net.errors import (FaultDropError, ForwardingLoopError, NoRouteError,
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import IPv4Header, Packet, VNHeader
+from repro.obs import Observability, get_obs
 
 DEFAULT_MAX_STEPS = 4096
 
@@ -120,10 +121,27 @@ class HopRecord:
     #: True when this hop's action was caused by injected-fault state.
     faulted: bool = False
 
-    def __str__(self) -> str:
+    def format(self) -> str:
+        """The single rendering of a hop.
+
+        Both ``ForwardingTrace.__str__`` and the JSONL event form
+        (:meth:`to_dict`'s ``rendered`` field) use this helper, so the
+        ``[depth=N]`` and ``[fault]`` annotations can never diverge
+        between the pretty trace and the machine-readable one.
+        """
         extra = f" ({self.detail})" if self.detail else ""
+        depth = f" [depth={self.depth}]" if self.depth > 1 else ""
         fault = " [fault]" if self.faulted else ""
-        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}{fault}"
+        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}{depth}{fault}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"node": self.node_id, "domain": self.domain_id,
+                "action": self.action, "detail": self.detail,
+                "depth": self.depth, "faulted": self.faulted,
+                "rendered": self.format()}
 
 
 @dataclass
@@ -179,8 +197,29 @@ class ForwardingTrace:
 
     def __str__(self) -> str:
         lines = [f"outcome={self.outcome.value} delivered_to={self.delivered_to}"]
-        lines.extend(f"  {hop}" for hop in self.hops)
+        lines.extend(f"  {hop.format()}" for hop in self.hops)
         return "\n".join(lines)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest encapsulation level the packet reached."""
+        return max((hop.depth for hop in self.hops), default=1)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable-key, JSON-safe form (the unified ``to_dict`` contract)."""
+        return {"outcome": self.outcome.value,
+                "delivered_to": self.delivered_to,
+                "physical_hops": self.physical_hops,
+                "vn_hops": self.vn_hops,
+                "encapsulations": self.encapsulations,
+                "decapsulations": self.decapsulations,
+                "max_depth": self.max_depth,
+                "ingress_router": self.ingress_router,
+                "egress_router": self.egress_router,
+                "last_vn_node": self.last_vn_node,
+                "drop_reason": self.drop_reason,
+                "faulted": self.faulted,
+                "hops": [hop.to_dict() for hop in self.hops]}
 
 
 @dataclass
@@ -213,6 +252,21 @@ class MulticastTrace:
     def delivered_all(self, receivers: Set[str]) -> bool:
         return receivers <= self.delivered_to
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable-key, JSON-safe form (the unified ``to_dict`` contract)."""
+        outcomes: Dict[str, int] = {}
+        for branch in self.branches:
+            key = branch.outcome.value
+            outcomes[key] = outcomes.get(key, 0) + 1
+        return {"branches": len(self.branches),
+                "delivered_to": sorted(self.delivered_to),
+                "transmissions": self.transmissions,
+                "max_link_stress": self.max_link_stress,
+                "link_stress": {f"{a}|{b}": count for (a, b), count
+                                in sorted(self.link_stress.items())},
+                "outcomes": dict(sorted(outcomes.items())),
+                "truncated": self.truncated}
+
 
 class ForwardingEngine:
     """Walks packets through a :class:`Network`.
@@ -223,10 +277,15 @@ class ForwardingEngine:
     instantiated.
     """
 
-    def __init__(self, network: Network, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+    def __init__(self, network: Network, max_steps: int = DEFAULT_MAX_STEPS,
+                 obs: Optional[Observability] = None) -> None:
         self.network = network
         self.max_steps = max_steps
         self._vn_handlers: Dict[int, VnHandler] = {}
+        self.obs = obs if obs is not None else get_obs()
+        self._outcome_counters: Dict[Outcome, object] = {
+            outcome: self.obs.counter(f"forwarding.outcome.{outcome.value}")
+            for outcome in Outcome}
 
     def register_vn_handler(self, version: int, handler: VnHandler) -> None:
         """Install the forwarding logic for IPvN *version* routers."""
@@ -240,7 +299,23 @@ class ForwardingEngine:
         """Run *packet* from node *start* until a terminal outcome."""
         trace = ForwardingTrace()
         self._walk(packet, self.network.node(start), trace, strict, None)
+        if self.obs.enabled:
+            self._observe_trace(trace, start)
         return trace
+
+    def _observe_trace(self, trace: ForwardingTrace, start: str) -> None:
+        """Per-outcome counters, hop/depth histograms, one trace event."""
+        self._outcome_counters[trace.outcome].inc()
+        obs = self.obs
+        obs.histogram("forwarding.physical_hops").observe(trace.physical_hops)
+        obs.histogram("forwarding.encapsulations").observe(trace.encapsulations)
+        obs.histogram("forwarding.max_depth").observe(trace.max_depth)
+        obs.event("forward", outcome=trace.outcome.value, start=start,
+                  delivered_to=trace.delivered_to,
+                  physical_hops=trace.physical_hops, vn_hops=trace.vn_hops,
+                  encapsulations=trace.encapsulations,
+                  max_depth=trace.max_depth, faulted=trace.faulted,
+                  hops=[hop.format() for hop in trace.hops])
 
     def forward_multicast(self, packet: Packet, start: str) -> "MulticastTrace":
         """Run a multicast packet, following every replication branch.
@@ -258,7 +333,17 @@ class ForwardingEngine:
             branch_packet, node = queue.popleft()
             branch = ForwardingTrace()
             self._walk(branch_packet, node, branch, False, queue)
+            if self.obs.enabled:
+                self._observe_trace(branch, node.node_id)
             mtrace.add_branch(self.network, branch)
+        if self.obs.enabled:
+            self.obs.counter("forwarding.multicast_walks").inc()
+            self.obs.event("forward.multicast", start=start,
+                           branches=len(mtrace.branches),
+                           delivered=len(mtrace.delivered_to),
+                           transmissions=mtrace.transmissions,
+                           max_link_stress=mtrace.max_link_stress,
+                           truncated=mtrace.truncated)
         return mtrace
 
     def _walk(self, packet: Packet, node: Node, trace: ForwardingTrace,

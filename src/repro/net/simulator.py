@@ -27,10 +27,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.net.errors import ConvergenceError, SimulationError
+from repro.obs import Observability, get_obs
 
 Callback = Callable[[], None]
 
@@ -64,7 +66,10 @@ class EventHandle:
             return
         event.cancelled = True
         if event.queued and self._scheduler is not None:
-            self._scheduler._live -= 1  # noqa: SLF001 - handle owns the event
+            scheduler = self._scheduler
+            scheduler._live -= 1  # noqa: SLF001 - handle owns the event
+            if scheduler.obs.enabled:
+                scheduler._c_cancelled.inc()  # noqa: SLF001
 
     @property
     def time(self) -> float:
@@ -93,7 +98,8 @@ class EventScheduler:
         use for jitter so that independent runs are reproducible.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 obs: Optional[Observability] = None) -> None:
         self._queue: List[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -104,6 +110,15 @@ class EventScheduler:
         self._perturbation: Optional[MessagePerturbation] = None
         self.messages_lost = 0
         self.messages_reordered = 0
+        #: Observability handle, bound at construction (see repro.obs).
+        #: Metrics are cached once so the enabled path stays cheap.
+        self.obs = obs if obs is not None else get_obs()
+        self._c_scheduled = self.obs.counter("scheduler.events_scheduled")
+        self._c_fired = self.obs.counter("scheduler.events_fired")
+        self._c_cancelled = self.obs.counter("scheduler.events_cancelled")
+        self._c_dropped = self.obs.counter("scheduler.messages_dropped")
+        self._c_reordered = self.obs.counter("scheduler.messages_reordered")
+        self._g_depth = self.obs.gauge("scheduler.queue_depth_max")
 
     @property
     def now(self) -> float:
@@ -122,6 +137,9 @@ class EventScheduler:
         event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
         self._live += 1
+        if self.obs.enabled:
+            self._c_scheduled.inc()
+            self._g_depth.set_max(self._live)
         return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callback) -> EventHandle:
@@ -160,6 +178,8 @@ class EventScheduler:
             if (perturbation.loss_prob > 0.0
                     and self.rng.random() < perturbation.loss_prob):
                 self.messages_lost += 1
+                if self.obs.enabled:
+                    self._c_dropped.inc()
                 event = _Event(time=self._now + delay, seq=next(self._seq),
                                callback=callback, cancelled=True, queued=False)
                 return EventHandle(event, self)
@@ -167,6 +187,8 @@ class EventScheduler:
                 jitter = self.rng.uniform(0.0, perturbation.reorder_jitter)
                 if jitter > 0.0:
                     self.messages_reordered += 1
+                    if self.obs.enabled:
+                        self._c_reordered.inc()
                 delay += jitter
         return self.schedule(delay, callback)
 
@@ -186,6 +208,8 @@ class EventScheduler:
             return False
         self._now = event.time
         self.events_processed += 1
+        if self.obs.enabled:
+            self._c_fired.inc()
         event.callback()
         return True
 
@@ -195,6 +219,10 @@ class EventScheduler:
         Raises :class:`ConvergenceError` if more than *max_events* fire,
         which in practice means a protocol is oscillating.
         """
+        observed = self.obs.enabled
+        if observed:
+            wall0 = time.perf_counter()
+            sim0 = self._now
         processed = 0
         while self.step():
             processed += 1
@@ -202,6 +230,11 @@ class EventScheduler:
                 raise ConvergenceError(
                     f"event budget exhausted after {max_events} events; "
                     "a protocol is likely not converging")
+        if observed:
+            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            self.obs.histogram("scheduler.drain_wall_ms").observe(wall_ms)
+            self.obs.event("scheduler.drain", t=self._now, events=processed,
+                           sim_elapsed=self._now - sim0, wall_ms=wall_ms)
         return processed
 
     def run_until(self, time: float, max_events: int = 2_000_000) -> int:
@@ -217,6 +250,8 @@ class EventScheduler:
                 raise ConvergenceError(
                     f"event budget exhausted after {max_events} events before t={time}")
         self._now = max(self._now, time)
+        if self.obs.enabled:
+            self.obs.event("scheduler.run_until", t=self._now, events=processed)
         return processed
 
     def _peek_time(self) -> Optional[float]:

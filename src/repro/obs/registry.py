@@ -1,0 +1,132 @@
+"""Process-local metric registry: named counters, gauges, histograms.
+
+The registry is the aggregation half of :mod:`repro.obs`: instrumented
+code increments counters and observes histograms through an
+:class:`~repro.obs.Observability` handle, and an experiment run
+snapshots the whole registry into its
+:class:`~repro.experiments.ExperimentResult.metrics` at the end.
+
+Everything here is deliberately dependency-free and allocation-light:
+metric objects are plain ``__slots__`` holders the hot paths cache once
+and mutate with attribute arithmetic.  A :meth:`Registry.snapshot` is
+JSON-safe by construction (str keys, int/float values only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A named point-in-time value (e.g. max queue depth seen)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark gauges)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Streaming summary of an observed value series.
+
+    Keeps count/total/min/max rather than buckets: enough for the
+    timing and size distributions the experiments report, with O(1)
+    memory and no configuration.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": float(self.count), "total": float(self.total),
+                "mean": float(self.mean),
+                "min": float(self.min) if self.min is not None else 0.0,
+                "max": float(self.max) if self.max is not None else 0.0}
+
+
+class Registry:
+    """Holds every named metric of one observability context.
+
+    Metric accessors create on first use, so instrumented code never
+    has to pre-declare; repeated lookups return the same object, which
+    hot paths exploit by caching the metric at construction time.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dump of every metric, keys sorted for stability."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].summary()
+                           for name in sorted(self._histograms)},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

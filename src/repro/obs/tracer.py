@@ -1,0 +1,200 @@
+"""Structured JSONL event tracing with per-run context.
+
+One :class:`Tracer` is one event stream: a ``run.start`` header
+carrying the run context (experiment id, seed, scenario parameters),
+then one JSON object per line for every emitted event, then a
+``run.end`` footer when the tracer is closed.
+
+The stream format (documented in ``docs/observability.md``) is designed
+for two consumers: post-hoc analysis tooling (every line is standalone
+JSON with sorted keys) and determinism regression tests (two same-seed
+runs emit byte-identical streams once fields prefixed ``wall_`` —
+wall-clock timings, inherently nondeterministic — are stripped).
+
+A tracer opened without a ``path`` keeps its serialized lines in
+memory (:meth:`Tracer.lines`), which tests and the self-check use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Optional
+
+from repro.obs.serialize import json_safe
+
+#: Key prefix marking wall-clock-derived (nondeterministic) fields.
+WALL_PREFIX = "wall_"
+
+#: Event kinds every stream starts and ends with.
+RUN_START = "run.start"
+RUN_END = "run.end"
+
+
+class Tracer:
+    """Writes one structured event stream, as JSON lines.
+
+    Parameters
+    ----------
+    path:
+        Target file.  ``None`` keeps lines in memory instead.
+    context:
+        Per-run context (seed, topology, scenario, params, ...), written
+        once into the ``run.start`` header event.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 context: Optional[Dict[str, object]] = None) -> None:
+        self.path = str(path) if path is not None else None
+        self.context = dict(context or {})
+        self._fh: Optional[IO[str]] = None
+        self._lines: List[str] = []
+        self._seq = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.path is not None:
+            self._fh = Path(self.path).open("w", encoding="utf-8")
+        self._write({"kind": RUN_START, "seq": self._next_seq(),
+                     "context": json_safe(self.context)})
+
+    def close(self) -> None:
+        """Write the ``run.end`` footer and release the file handle."""
+        if self._closed:
+            return
+        self._ensure_started()
+        self._closed = True
+        self._write({"kind": RUN_END, "seq": self._next_seq(),
+                     "events": self._seq - 2})
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Tracer":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, kind: str, t: Optional[float] = None, **fields: object) -> None:
+        """Append one event.  *t* is simulation time when meaningful."""
+        if self._closed:
+            return
+        self._ensure_started()
+        record: Dict[str, object] = {"kind": kind, "seq": self._next_seq()}
+        if t is not None:
+            record["t"] = t
+        for key, value in fields.items():
+            record[key] = json_safe(value)
+        self._write(record)
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if self._fh is not None:
+            self._fh.write(line + "\n")
+        else:
+            self._lines.append(line)
+
+    # -- inspection ----------------------------------------------------------
+    def lines(self) -> List[str]:
+        """Serialized lines (in-memory tracers only)."""
+        if self.path is not None:
+            raise ValueError("lines() is only available on in-memory tracers; "
+                             f"this tracer writes to {self.path!r}")
+        return list(self._lines)
+
+    def events(self) -> List[Dict[str, object]]:
+        """Parsed events (in-memory tracers only)."""
+        return [json.loads(line) for line in self.lines()]
+
+
+# -- schema validation ---------------------------------------------------------
+
+def validate_trace_lines(lines: Iterable[str]) -> List[str]:
+    """Validate an event stream against the documented JSONL schema.
+
+    Returns a list of human-readable problems; empty means valid.
+    Checked invariants: every line is a standalone JSON object; ``kind``
+    (string) and ``seq`` (int) are present; ``seq`` is consecutive from
+    0; the first event is ``run.start`` with a ``context`` object; ``t``
+    and every ``wall_*`` field are numbers; a ``run.end``, if present,
+    is the final event.
+    """
+    errors: List[str] = []
+    expected_seq = 0
+    saw_end_at: Optional[int] = None
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        kind = event.get("kind")
+        if not isinstance(kind, str) or not kind:
+            errors.append(f"line {lineno}: missing or non-string 'kind'")
+        seq = event.get("seq")
+        if not isinstance(seq, int):
+            errors.append(f"line {lineno}: missing or non-int 'seq'")
+        elif seq != expected_seq:
+            errors.append(f"line {lineno}: seq {seq} != expected {expected_seq}")
+        expected_seq += 1
+        if lineno == 1:
+            if kind != RUN_START:
+                errors.append(f"line 1: first event must be {RUN_START!r}, "
+                              f"got {kind!r}")
+            elif not isinstance(event.get("context"), dict):
+                errors.append("line 1: run.start has no 'context' object")
+        if saw_end_at is not None:
+            errors.append(f"line {lineno}: event after {RUN_END!r} "
+                          f"(line {saw_end_at})")
+        if kind == RUN_END:
+            saw_end_at = lineno
+        t = event.get("t")
+        if t is not None and not isinstance(t, (int, float)):
+            errors.append(f"line {lineno}: 't' is not a number")
+        for key, value in event.items():
+            if key.startswith(WALL_PREFIX) and not isinstance(value, (int, float)):
+                errors.append(f"line {lineno}: wall field {key!r} is not a number")
+    if expected_seq == 0:
+        errors.append("trace is empty")
+    return errors
+
+
+def validate_trace(path: str) -> List[str]:
+    """Validate a JSONL trace file; returns problems (empty == valid)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return validate_trace_lines(text.splitlines())
+
+
+def strip_wall_fields(lines: Iterable[str]) -> List[str]:
+    """Re-serialize events with every ``wall_*`` field removed.
+
+    The determinism regression uses this: two same-seed runs must be
+    byte-identical modulo wall-clock fields.
+    """
+    stripped: List[str] = []
+    for line in lines:
+        event = json.loads(line)
+        cleaned = {key: value for key, value in event.items()
+                   if not key.startswith(WALL_PREFIX)}
+        stripped.append(json.dumps(cleaned, sort_keys=True,
+                                   separators=(",", ":")))
+    return stripped

@@ -107,6 +107,9 @@ class DistanceVectorRouting(IgpProtocol):
         self._update_pending.discard(router_id)
         if router_id not in self._tables or not self.network.node(router_id).up:
             return  # crashed (or removed) routers send nothing
+        obs_enabled = self.obs.enabled
+        if obs_enabled:
+            self.obs.counter("igp.dv.update_rounds").inc()
         table = self._tables[router_id]
         for neighbor_id, _cost, delay in self.intra_neighbors(router_id):
             vector: Dict[Prefix, float] = {}
@@ -116,6 +119,8 @@ class DistanceVectorRouting(IgpProtocol):
                 else:
                     vector[pfx] = route.metric
             self.stats.record_send(size=len(vector))
+            if obs_enabled:
+                self.obs.counter("igp.dv.messages_sent").inc()
             self.scheduler.schedule_message(
                 delay,
                 lambda n=neighbor_id, s=router_id, v=vector: self._receive(n, s, v))
@@ -128,6 +133,8 @@ class DistanceVectorRouting(IgpProtocol):
         After a topology change the affected router therefore asks its
         neighbors for a full advertisement round.
         """
+        if self.obs.enabled:
+            self.obs.counter("igp.dv.solicitations").inc()
         for neighbor_id, _cost, delay in self.intra_neighbors(router_id):
             self.stats.record_send()
             self.scheduler.schedule_message(

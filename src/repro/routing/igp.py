@@ -22,6 +22,7 @@ anycast extensions.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.address import IPv4Address, Prefix
@@ -31,6 +32,7 @@ from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.simulator import EventScheduler, MessageStats
+from repro.obs import get_obs
 
 #: The paper's "high-cost link" to the anycast address under link-state.
 #: The cost is uniform across members, so it never changes *which*
@@ -55,6 +57,7 @@ class IgpProtocol(abc.ABC):
         self.domain = domain
         self.scheduler = scheduler
         self.stats = MessageStats()
+        self.obs = get_obs()
         #: router_id -> {anycast address -> stub cost} advertisements.
         self._anycast_adverts: Dict[str, Dict[IPv4Address, float]] = {}
         self._started = False
@@ -77,10 +80,20 @@ class IgpProtocol(abc.ABC):
 
     def converge(self, max_events: int = 2_000_000) -> int:
         """Drain protocol messages, then install routes.  Returns events run."""
+        observed = self.obs.enabled
+        if observed:
+            wall0 = time.perf_counter()
         if not self._started:
             self.start()
         processed = self.scheduler.run_until_idle(max_events=max_events)
         self.install_routes()
+        if observed:
+            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            self.obs.histogram("igp.converge_wall_ms").observe(wall_ms)
+            self.obs.event("igp.converge", t=self.scheduler.now,
+                           asn=self.domain.asn, protocol=type(self).__name__,
+                           events=processed, messages_sent=self.stats.sent,
+                           wall_ms=wall_ms)
         return processed
 
     # -- failure detection -----------------------------------------------------

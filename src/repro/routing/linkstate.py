@@ -71,13 +71,18 @@ class LinkStateRouting(IgpProtocol):
         self._seq[router_id] += 1
         lsa = self._build_lsa(router_id)
         self._lsdb[router_id][router_id] = lsa
+        if self.obs.enabled:
+            self.obs.counter("igp.ls.lsa_originations").inc()
         self._flood(router_id, lsa, exclude=None)
 
     def _flood(self, from_router: str, lsa: Lsa, exclude: Optional[str]) -> None:
+        obs_enabled = self.obs.enabled
         for neighbor_id, _cost, delay in self.intra_neighbors(from_router):
             if neighbor_id == exclude:
                 continue
             self.stats.record_send()
+            if obs_enabled:
+                self.obs.counter("igp.ls.messages_sent").inc()
             self.scheduler.schedule_message(
                 delay, lambda n=neighbor_id, s=from_router, l=lsa: self._receive(n, s, l))
 
@@ -151,6 +156,8 @@ class LinkStateRouting(IgpProtocol):
         An edge is used only if both endpoints advertise it
         (bidirectionality check, as in OSPF).
         """
+        if self.obs.enabled:
+            self.obs.counter("igp.ls.spf_runs").inc()
         lsdb = self._lsdb[router_id]
         adjacency: Dict[str, List[Tuple[str, float]]] = {}
         for origin, lsa in lsdb.items():

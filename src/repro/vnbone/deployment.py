@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
+import time
 from typing import Dict, List, Optional, Set
 
 from repro.net.errors import DeploymentError
@@ -152,6 +153,10 @@ class VnDeployment:
     # -- control-plane rebuild ---------------------------------------------------------
     def rebuild(self) -> None:
         """Reconverge everything after adoption (or liveness) changes."""
+        obs = self.orchestrator.obs
+        observed = obs.enabled
+        if observed:
+            wall0 = time.perf_counter()
         self.orchestrator.reconverge()
         self.scheme.post_converge_install()
         # Crashed members cannot terminate tunnels or own prefixes; the
@@ -185,6 +190,15 @@ class VnDeployment:
         else:
             self.routing.compute(self.states, entries)
         self._dirty = False
+        if observed:
+            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            obs.counter("vnbone.rebuilds").inc()
+            obs.histogram("vnbone.rebuild_wall_ms").observe(wall_ms)
+            obs.event("vnbone.rebuild",
+                      t=self.orchestrator.scheduler.now,
+                      version=self.version, members=len(live),
+                      domains=len(members_by_domain),
+                      tunnels=len(self.tunnels), wall_ms=wall_ms)
 
     def _owner_entries(self, members_by_domain: Dict[int, Set[str]]
                        ) -> List[OwnerEntry]:

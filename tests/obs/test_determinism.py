@@ -1,0 +1,44 @@
+"""Determinism regression: same-seed traced runs are byte-identical.
+
+The trace schema marks every nondeterministic (wall-clock-derived)
+field with the ``wall_`` prefix; stripped of those, two runs of the
+same experiment at the same seed must produce *identical* event
+streams and identical metric counters.  Histograms keep wall timings,
+so only counters and gauges are compared.
+"""
+
+import pytest
+
+from repro.experiments import run
+from repro.obs import Observability, Tracer, strip_wall_fields
+
+
+def traced_run(seed: int):
+    obs = Observability(tracer=Tracer(context={"seed": seed}))
+    result = run("anycast_failover", seed=seed, obs=obs)
+    obs.close()
+    return result, obs
+
+
+@pytest.mark.slow
+class TestTraceDeterminism:
+    def test_same_seed_runs_are_byte_identical_modulo_wall(self):
+        result_a, obs_a = traced_run(seed=11)
+        result_b, obs_b = traced_run(seed=11)
+        lines_a = strip_wall_fields(obs_a.tracer.lines())
+        lines_b = strip_wall_fields(obs_b.tracer.lines())
+        assert lines_a == lines_b
+        snap_a, snap_b = obs_a.metrics_summary(), obs_b.metrics_summary()
+        assert snap_a["counters"] == snap_b["counters"]
+        assert snap_a["gauges"] == snap_b["gauges"]
+        # The structured results agree too (modulo the metrics, which
+        # embed wall-clock histograms).
+        dict_a, dict_b = result_a.to_dict(), result_b.to_dict()
+        dict_a.pop("metrics"), dict_b.pop("metrics")
+        assert dict_a == dict_b
+
+    def test_different_seeds_diverge(self):
+        _, obs_a = traced_run(seed=11)
+        _, obs_b = traced_run(seed=12)
+        assert (strip_wall_fields(obs_a.tracer.lines())
+                != strip_wall_fields(obs_b.tracer.lines()))

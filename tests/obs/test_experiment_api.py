@@ -1,0 +1,134 @@
+"""The redesigned experiment run API: seed/params threading, obs binding,
+the deprecation shim for zero-arg runners, and the to_dict contract."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, run
+from repro.experiments.base import (ExperimentInfo, _threadable_kwargs,
+                                    register, _REGISTRY)
+from repro.obs import NULL_OBS, Observability, Tracer, get_obs, observing
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway experiments without leaking them."""
+    added = []
+
+    def scratch_register(experiment_id, description, runner):
+        register(experiment_id, description)(runner)
+        added.append(experiment_id)
+        return _REGISTRY[experiment_id]
+
+    yield scratch_register
+    for experiment_id in added:
+        _REGISTRY.pop(experiment_id, None)
+
+
+def make_result(experiment_id="tmp", **kwargs):
+    return ExperimentResult(experiment_id=experiment_id, title="t",
+                            header="h", rows=["r"], data={}, **kwargs)
+
+
+class TestKwargThreading:
+    def test_signature_detection(self):
+        assert _threadable_kwargs(lambda: None) == frozenset()
+        assert _threadable_kwargs(lambda seed=0: None) == {"seed"}
+        assert (_threadable_kwargs(lambda seed=0, params=None: None)
+                == {"seed", "params"})
+        assert (_threadable_kwargs(lambda **kwargs: None)
+                == {"seed", "params"})
+
+    def test_new_style_runner_receives_seed_and_params(self, scratch_registry):
+        seen = {}
+
+        def runner(seed=0, params=None):
+            seen.update(seed=seed, params=params)
+            return make_result(seed=seed, params=dict(params or {}))
+
+        scratch_registry("tmp_new", "new-style", runner)
+        result = run("tmp_new", seed=42, params={"k": 1})
+        assert seen == {"seed": 42, "params": {"k": 1}}
+        assert result.seed == 42
+        assert result.params == {"k": 1}
+
+    def test_zero_arg_runner_warns_and_drops(self, scratch_registry):
+        scratch_registry("tmp_old", "zero-arg", lambda: make_result())
+        with pytest.warns(DeprecationWarning, match="zero-arg"):
+            result = run("tmp_old", seed=3)
+        # run() still stamps what the caller asked for.
+        assert result.seed == 3
+
+    def test_zero_arg_runner_without_kwargs_is_silent(self, scratch_registry):
+        scratch_registry("tmp_quiet", "zero-arg", lambda: make_result())
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run("tmp_quiet")
+
+
+class TestObsBinding:
+    def test_runner_sees_active_obs(self, scratch_registry):
+        seen = {}
+
+        def runner():
+            seen["obs"] = get_obs()
+            return make_result()
+
+        scratch_registry("tmp_obs", "obs capture", runner)
+        obs = Observability()
+        run("tmp_obs", obs=obs)
+        assert seen["obs"] is obs
+        assert get_obs() is NULL_OBS  # restored afterwards
+
+    def test_result_stamped_with_metrics_and_trace(self, scratch_registry):
+        def runner():
+            get_obs().counter("tmp.widgets").inc(5)
+            return make_result()
+
+        scratch_registry("tmp_metrics", "metrics stamping", runner)
+        obs = Observability(tracer=Tracer(context={"seed": 0}))
+        result = run("tmp_metrics", obs=obs)
+        assert result.metrics["counters"]["tmp.widgets"] == 5
+        assert result.trace_path is None  # in-memory tracer has no path
+        kinds = [e["kind"] for e in obs.tracer.events()]
+        assert "experiment.start" in kinds and "experiment.end" in kinds
+
+    def test_without_obs_nothing_is_stamped(self, scratch_registry):
+        scratch_registry("tmp_plain", "no obs", lambda: make_result())
+        result = run("tmp_plain")
+        assert result.metrics == {}
+        assert result.trace_path is None
+
+
+class TestResultSerialization:
+    def test_to_dict_contract(self):
+        result = make_result(seed=7, params={"a": 1},
+                             metrics={"counters": {"c": 1}})
+        data = result.to_dict()
+        assert data["experiment_id"] == "tmp"
+        assert data["seed"] == 7
+        assert data["params"] == {"a": 1}
+        assert data["metrics"] == {"counters": {"c": 1}}
+        json.dumps(data)  # JSON-safe by contract
+
+    def test_to_json_round_trips(self):
+        result = make_result()
+        assert json.loads(result.to_json())["experiment_id"] == "tmp"
+
+    def test_data_is_json_safed(self):
+        result = make_result()
+        result.data = {"members": {"b", "a"}}
+        assert result.to_dict()["data"] == {"members": ["a", "b"]}
+
+
+class TestRegistryInfo:
+    def test_registered_info_records_accepts(self):
+        info = _REGISTRY["anycast_failover"]
+        assert isinstance(info, ExperimentInfo)
+        assert info.accepts == {"seed", "params"}
+
+    def test_legacy_experiments_accept_nothing(self):
+        assert _REGISTRY["F1"].accepts == frozenset()

@@ -1,0 +1,84 @@
+"""Instrumented hot paths feed the registry and tracer end to end."""
+
+import pytest
+
+from repro.core.orchestrator import Orchestrator
+from repro.net.packet import ipv4_packet
+from repro.net.simulator import EventScheduler
+from repro.obs import Observability, Tracer, observing
+
+from tests.conftest import build_two_domain_network
+
+
+@pytest.fixture
+def obs():
+    return Observability(tracer=Tracer(context={"seed": 0}))
+
+
+def kinds(obs):
+    obs.close()
+    return [event["kind"] for event in obs.tracer.events()]
+
+
+class TestSchedulerInstrumentation:
+    def test_counters_track_lifecycle(self, obs):
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        scheduler.run_until_idle()
+        counters = obs.metrics_summary()["counters"]
+        assert counters["scheduler.events_scheduled"] == 2
+        assert counters["scheduler.events_cancelled"] == 1
+        assert counters["scheduler.events_fired"] == 1
+        gauges = obs.metrics_summary()["gauges"]
+        assert gauges["scheduler.queue_depth_max"] == 2.0
+        assert "scheduler.drain" in kinds(obs)
+
+    def test_disabled_obs_records_nothing(self):
+        # Construction caches zero-valued counter handles; the disabled
+        # guard must keep every one of them at zero afterwards.
+        obs = Observability.disabled()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until_idle()
+        snapshot = obs.metrics_summary()
+        assert all(value == 0 for value in snapshot["counters"].values())
+        assert snapshot["histograms"] == {}
+
+
+class TestControlPlaneInstrumentation:
+    def test_convergence_emits_spf_and_flood_counters(self, obs):
+        network = build_two_domain_network()
+        with observing(obs):
+            orch = Orchestrator(network, seed=0)
+            orch.converge()
+        counters = obs.metrics_summary()["counters"]
+        assert counters["igp.ls.spf_runs"] > 0
+        assert counters["igp.ls.lsa_originations"] > 0
+        assert counters["igp.ls.messages_sent"] > 0
+        assert counters["bgp.announcements"] > 0
+        assert counters["orchestrator.convergences"] == 1
+        emitted = kinds(obs)
+        assert "topology" in emitted
+        assert "orchestrator.converge" in emitted
+
+    def test_forwarding_outcome_counters(self, obs):
+        network = build_two_domain_network()
+        with observing(obs):
+            orch = Orchestrator(network, seed=0)
+        orch.converge()
+        src, dst = network.node("h1"), network.node("h2")
+        trace = orch.forward(ipv4_packet(src.ipv4, dst.ipv4), "h1")
+        assert trace.delivered
+        counters = obs.metrics_summary()["counters"]
+        assert counters["forwarding.outcome.delivered"] == 1
+        hist = obs.metrics_summary()["histograms"]
+        assert hist["forwarding.physical_hops"]["count"] == 1.0
+        obs.close()
+        forward_events = [e for e in obs.tracer.events()
+                          if e["kind"] == "forward"]
+        assert forward_events[0]["outcome"] == "delivered"
+        assert forward_events[0]["hops"]  # rendered hop strings

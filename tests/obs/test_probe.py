@@ -1,0 +1,41 @@
+"""Timing probes: live spans record, disabled spans are shared no-ops."""
+
+from repro.obs import NULL_OBS, NULL_PROBE, Observability, Tracer
+
+
+class TestDisabledProbe:
+    def test_disabled_obs_returns_shared_null_probe(self):
+        obs = Observability.disabled()
+        assert obs.probe("anything") is NULL_PROBE
+        assert NULL_OBS.probe("x", asn=7) is NULL_PROBE
+
+    def test_null_probe_is_a_silent_context_manager(self):
+        obs = Observability.disabled()
+        with obs.probe("quiet") as span:
+            assert span is NULL_PROBE
+        # The span recorded nothing into the disabled handle's registry.
+        assert obs.metrics_summary()["histograms"] == {}
+
+
+class TestLiveProbe:
+    def test_records_histogram_and_event(self):
+        obs = Observability(tracer=Tracer(context={"seed": 0}))
+        with obs.probe("rebuild", asn=7) as span:
+            pass
+        assert span.wall_ms is not None and span.wall_ms >= 0.0
+        hist = obs.metrics_summary()["histograms"]["probe.rebuild_wall_ms"]
+        assert hist["count"] == 1.0
+        obs.close()
+        probe_events = [e for e in obs.tracer.events() if e["kind"] == "probe"]
+        assert len(probe_events) == 1
+        assert probe_events[0]["name"] == "rebuild"
+        assert probe_events[0]["asn"] == 7
+        assert isinstance(probe_events[0]["wall_ms"], float)
+
+    def test_distinct_probes_accumulate_in_one_histogram(self):
+        obs = Observability()
+        for _ in range(3):
+            with obs.probe("step"):
+                pass
+        hist = obs.metrics_summary()["histograms"]["probe.step_wall_ms"]
+        assert hist["count"] == 3.0

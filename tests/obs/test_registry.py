@@ -1,0 +1,79 @@
+"""Registry semantics: counters, gauges, histograms, snapshots."""
+
+import json
+
+from repro.obs import Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = Registry()
+        counter = registry.counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_create_on_first_use_returns_same_object(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        gauge = Registry().gauge("depth")
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+        gauge.set_max(2.0)
+        assert gauge.value == 3.0  # high-water mark keeps the max
+        gauge.set_max(7.0)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        hist = Registry().histogram("h")
+        for value in (2.0, 8.0, 5.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3.0
+        assert summary["total"] == 15.0
+        assert summary["mean"] == 5.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 8.0
+
+    def test_empty_summary_is_zeroes(self):
+        summary = Registry().histogram("h").summary()
+        assert summary == {"count": 0.0, "total": 0.0, "mean": 0.0,
+                           "min": 0.0, "max": 0.0}
+
+
+class TestSnapshot:
+    def test_structure_and_sorted_keys(self):
+        registry = Registry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2, "b": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1.0
+
+    def test_snapshot_is_json_safe(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(0.5)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_reset_clears_everything(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(9.0)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,120 @@
+"""Tracer JSONL round-trip, schema validation, wall-field stripping."""
+
+import enum
+import json
+
+import pytest
+
+from repro.obs import (RUN_END, RUN_START, Tracer, json_safe,
+                       strip_wall_fields, validate_trace,
+                       validate_trace_lines)
+
+
+class TestInMemoryTracer:
+    def test_header_events_footer_roundtrip(self):
+        tracer = Tracer(context={"seed": 7, "experiment": "x"})
+        tracer.emit("alpha", t=1.0, value=3)
+        tracer.emit("beta", nested={"k": [1, 2]})
+        tracer.close()
+        events = tracer.events()
+        assert [e["kind"] for e in events] == [RUN_START, "alpha", "beta",
+                                               RUN_END]
+        assert events[0]["context"] == {"seed": 7, "experiment": "x"}
+        assert events[1]["t"] == 1.0 and events[1]["value"] == 3
+        assert events[2]["nested"] == {"k": [1, 2]}
+        assert events[-1]["events"] == 2
+
+    def test_seq_consecutive_and_sorted_keys(self):
+        tracer = Tracer()
+        tracer.emit("e", zebra=1, apple=2)
+        tracer.close()
+        lines = tracer.lines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1, 2]
+        parsed = json.loads(lines[1])
+        assert list(parsed) == sorted(parsed)
+
+    def test_emit_after_close_is_dropped(self):
+        tracer = Tracer()
+        tracer.emit("e")
+        tracer.close()
+        tracer.emit("late")
+        assert len(tracer.lines()) == 3  # start, e, end — no 'late'
+
+    def test_validates_clean(self):
+        tracer = Tracer(context={"seed": 0})
+        tracer.emit("e", t=2.5, wall_ms=1.0)
+        tracer.close()
+        assert validate_trace_lines(tracer.lines()) == []
+
+
+class TestFileTracer:
+    def test_writes_valid_jsonl_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with Tracer(path, context={"seed": 3}) as tracer:
+            tracer.emit("e", t=0.0)
+        assert validate_trace(path) == []
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == RUN_START
+
+    def test_lines_rejected_on_file_tracers(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.lines()
+
+
+class TestValidation:
+    def test_rejects_bad_json(self):
+        assert validate_trace_lines(["not json"])
+
+    def test_rejects_missing_header(self):
+        line = json.dumps({"kind": "e", "seq": 0})
+        errors = validate_trace_lines([line])
+        assert any(RUN_START in error for error in errors)
+
+    def test_rejects_gapped_seq(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {}}),
+                 json.dumps({"kind": "e", "seq": 5})]
+        errors = validate_trace_lines(lines)
+        assert any("seq" in error for error in errors)
+
+    def test_rejects_events_after_run_end(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {}}),
+                 json.dumps({"kind": RUN_END, "seq": 1, "events": 0}),
+                 json.dumps({"kind": "late", "seq": 2})]
+        errors = validate_trace_lines(lines)
+        assert any(RUN_END in error for error in errors)
+
+    def test_rejects_non_numeric_wall_field(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {}}),
+                 json.dumps({"kind": "e", "seq": 1, "wall_ms": "slow"})]
+        errors = validate_trace_lines(lines)
+        assert any("wall_ms" in error for error in errors)
+
+    def test_rejects_empty_trace(self):
+        assert validate_trace_lines([]) == ["trace is empty"]
+
+
+class TestStripWallFields:
+    def test_removes_only_wall_prefixed_keys(self):
+        line = json.dumps({"kind": "e", "seq": 1, "t": 2.0,
+                           "wall_ms": 17.3, "value": 4})
+        stripped = json.loads(strip_wall_fields([line])[0])
+        assert "wall_ms" not in stripped
+        assert stripped["t"] == 2.0 and stripped["value"] == 4
+
+
+class TestJsonSafe:
+    def test_conversions(self):
+        class Color(enum.Enum):
+            RED = "red"
+
+        class WithDict:
+            def to_dict(self):
+                return {"inner": {1, 3, 2}}
+
+        assert json_safe(Color.RED) == "red"
+        assert json_safe({"k": (1, 2)}) == {"k": [1, 2]}
+        assert json_safe({3, 1, 2}) == [1, 2, 3]
+        assert json_safe(WithDict()) == {"inner": [1, 2, 3]}
+        assert json_safe(object()).startswith("<object object")
