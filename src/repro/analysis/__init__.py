@@ -1,0 +1,47 @@
+"""repro.analysis: the determinism & invariant linter.
+
+A stdlib-``ast`` static-analysis engine with project-specific rules
+machine-checking the conventions the reproduction's results rest on:
+
+* **D1** seeded randomness only — no module-global ``random.*``;
+* **D2** wall-clock reads flow only into ``wall_``-prefixed names;
+* **D3** deterministic iteration order in routing-critical packages;
+* **D4** metric/trace updates guarded by ``obs.enabled``;
+* **D5** typed exceptions and immutable defaults in the public API.
+
+Typical use::
+
+    from repro.analysis import lint_paths
+
+    report = lint_paths(["src"])
+    assert report.ok, [f.format() for f in report.unsuppressed]
+
+or from the shell (the CI correctness gate)::
+
+    python -m repro lint src/ --json
+
+Findings are suppressed with ``# repro: allow[D1]`` trailing comments
+(scope-wide when placed on a ``def``/``class`` line); see
+``docs/static-analysis.md`` for each rule's rationale and examples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (AnalysisError, Linter, LintReport,
+                                   collect_files, lint_paths, lint_source)
+from repro.analysis.findings import (ALLOW_ALL, Finding, Severity, SourceFile,
+                                     parse_allow_comments)
+from repro.analysis.reporters import (render_human, render_json,
+                                      render_rule_list)
+from repro.analysis.rules import (DEFAULT_RULES, RULES_BY_ID,
+                                  HotPathGuardRule, OrderedIterationRule,
+                                  PublicApiRule, Rule, SeededRandomRule,
+                                  WallClockRule)
+
+__all__ = ["ALLOW_ALL", "AnalysisError", "DEFAULT_RULES", "Finding",
+           "HotPathGuardRule", "Linter", "LintReport",
+           "OrderedIterationRule", "PublicApiRule", "RULES_BY_ID", "Rule",
+           "SeededRandomRule", "Severity", "SourceFile", "WallClockRule",
+           "collect_files", "lint_paths", "lint_source",
+           "parse_allow_comments", "render_human", "render_json",
+           "render_rule_list"]

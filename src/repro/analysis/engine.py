@@ -1,0 +1,188 @@
+"""The lint engine: file collection, rule dispatch, aggregation.
+
+Public entry points:
+
+* :func:`lint_paths` — lint files/directories, returning a
+  :class:`LintReport` (what the CLI and CI gate consume);
+* :func:`lint_source` — lint one in-memory module (what the rule unit
+  tests use);
+* :class:`Linter` — the configurable core, for callers that want rule
+  subsets or severity overrides.
+
+The engine is deterministic by construction: files are visited in
+sorted order and findings are sorted by (path, line, col, rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity, SourceFile
+from repro.analysis.rules import DEFAULT_RULES, RULES_BY_ID, Rule
+from repro.net.errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """The lint engine was misconfigured (unknown rule, bad path...)."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Files that failed to parse: (path, error message).
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no unsuppressed findings and every file parsed."""
+        return not self.unsuppressed and not self.parse_errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.unsuppressed:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the ``--json`` reporter schema, v1)."""
+        return {
+            "schema": "repro.analysis/v1",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": {
+                "total": len(self.findings),
+                "unsuppressed": len(self.unsuppressed),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.counts_by_rule(),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "parse_errors": [{"path": path, "error": error}
+                             for path, error in self.parse_errors],
+        }
+
+
+def _resolve_rules(rule_ids: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    if rule_ids is None:
+        return DEFAULT_RULES
+    rules: List[Rule] = []
+    for rule_id in rule_ids:
+        try:
+            rules.append(RULES_BY_ID[rule_id])
+        except KeyError:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise AnalysisError(
+                f"unknown rule {rule_id!r}; known rules: {known}") from None
+    return tuple(rules)
+
+
+class Linter:
+    """Runs a rule set over source files.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run (default: all of ``DEFAULT_RULES``).
+    severity_overrides:
+        Optional ``rule_id -> Severity`` remapping, e.g. demoting a
+        rule to :attr:`Severity.WARNING` during a migration.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 severity_overrides: Optional[Dict[str, Severity]] = None
+                 ) -> None:
+        self.rules: Tuple[Rule, ...] = (
+            tuple(rules) if rules is not None else DEFAULT_RULES)
+        self.severity_overrides: Dict[str, Severity] = dict(
+            severity_overrides or {})
+
+    def lint_text(self, text: str, path: str = "<string>") -> List[Finding]:
+        """Lint one in-memory module; raises SyntaxError on bad input."""
+        source = SourceFile.parse(path, text)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            for finding in rule.check(source):
+                override = self.severity_overrides.get(finding.rule_id)
+                if override is not None and override != finding.severity:
+                    finding = Finding(
+                        path=finding.path, line=finding.line,
+                        col=finding.col, rule_id=finding.rule_id,
+                        severity=override, message=finding.message,
+                        suppressed=finding.suppressed)
+                findings.append(finding)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        """Lint every ``.py`` file under *paths* (files or directories)."""
+        report = LintReport()
+        for file_path in collect_files(paths):
+            report.files_checked += 1
+            try:
+                text = file_path.read_text(encoding="utf-8")
+                findings = self.lint_text(text, file_path.as_posix())
+            except SyntaxError as exc:
+                report.parse_errors.append(
+                    (file_path.as_posix(), f"syntax error: {exc.msg} "
+                     f"(line {exc.lineno})"))
+                continue
+            except OSError as exc:
+                report.parse_errors.append(
+                    (file_path.as_posix(), f"unreadable: {exc}"))
+                continue
+            report.findings.extend(findings)
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+
+def collect_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = set()
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {raw!r}")
+        candidates = ([path] if path.is_file()
+                      else sorted(path.rglob("*.py")))
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            key = candidate.resolve().as_posix()
+            if key in seen:
+                continue
+            seen.add(key)
+            collected.append(candidate)
+    collected.sort(key=lambda p: p.as_posix())
+    return collected
+
+
+def lint_paths(paths: Iterable[str],
+               rule_ids: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files/directories with the named rules (default: all)."""
+    return Linter(rules=_resolve_rules(rule_ids)).lint_paths(paths)
+
+
+def lint_source(text: str, path: str = "src/repro/_inline.py",
+                rule_ids: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one source string — the unit-test entry point.
+
+    The default *path* places the module inside the library tree so
+    path-scoped rules (D1/D2/D4/D5) apply; pass an explicit path such
+    as ``"src/repro/routing/_inline.py"`` to exercise D3.
+    """
+    return Linter(rules=_resolve_rules(rule_ids)).lint_text(text, path)

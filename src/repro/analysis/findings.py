@@ -1,0 +1,117 @@
+"""Finding and severity types plus suppression-comment parsing.
+
+A :class:`Finding` is one rule violation at one source location.  The
+suppression syntax is a trailing comment::
+
+    picker = random.Random(...)  # repro: allow[D1]
+
+An ``allow`` comment suppresses the named rules on its own line and on
+the line immediately after it (so a comment can sit above a long
+statement).  Placed on a ``def`` or ``class`` line, it suppresses the
+named rules for the whole scope — the idiom for helpers whose callers
+hold the invariant (e.g. a metric-flush method only invoked under an
+``obs.enabled`` guard).  ``allow[*]`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; errors gate CI, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    suppressed: bool = False
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule_id, "severity": self.severity.value,
+                "message": self.message, "suppressed": self.suppressed}
+
+    def format(self) -> str:
+        flag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.severity.value}] {self.message}{flag}")
+
+
+#: ``# repro: allow[D1]`` / ``# repro: allow[D1, D3]`` / ``# repro: allow[*]``
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+#: Matches every rule id in an ``allow[*]`` comment.
+ALLOW_ALL = "*"
+
+
+def parse_allow_comments(text: str) -> Dict[int, Set[str]]:
+    """Line number (1-based) -> rule ids allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        if rules:
+            allowed[lineno] = rules
+    return allowed
+
+
+@dataclass
+class SourceFile:
+    """One parsed module handed to every rule: path, text, tree, allows."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    #: Per-line suppressions, scope suppressions already expanded.
+    allow: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        allow = parse_allow_comments(text)
+        _expand_scope_allows(tree, allow)
+        return cls(path=path, text=text, tree=tree, allow=allow)
+
+    def is_allowed(self, rule_id: str, line: int) -> bool:
+        """Is *rule_id* suppressed at *line* (same line or the one above)?"""
+        for candidate in (line, line - 1):
+            rules = self.allow.get(candidate)
+            if rules and (rule_id in rules or ALLOW_ALL in rules):
+                return True
+        return False
+
+
+def _expand_scope_allows(tree: ast.Module,
+                         allow: Dict[int, Set[str]]) -> None:
+    """An allow on a ``def``/``class`` line covers the whole scope."""
+    scope_nodes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    for node in ast.walk(tree):
+        if not isinstance(node, scope_nodes):
+            continue
+        rules = allow.get(node.lineno)
+        if not rules:
+            continue
+        end = node.end_lineno if node.end_lineno is not None else node.lineno
+        for line in range(node.lineno, end + 1):
+            allow.setdefault(line, set()).update(rules)

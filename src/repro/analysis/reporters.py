@@ -1,0 +1,46 @@
+"""Human and JSON reporters for :class:`~repro.analysis.LintReport`."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import LintReport
+from repro.analysis.rules import DEFAULT_RULES
+
+
+def render_human(report: LintReport, show_suppressed: bool = False) -> str:
+    """One finding per line, then a summary line — grep-friendly."""
+    lines: List[str] = []
+    for path, error in report.parse_errors:
+        lines.append(f"{path}:1:0: PARSE [error] {error}")
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.format())
+    counts = report.counts_by_rule()
+    by_rule = ", ".join(f"{rule}={counts[rule]}" for rule in sorted(counts))
+    summary = (f"checked {report.files_checked} files: "
+               f"{len(report.unsuppressed)} finding(s)"
+               + (f" [{by_rule}]" if by_rule else "")
+               + (f", {len(report.suppressed)} suppressed"
+                  if report.suppressed else ""))
+    lines.append(summary if not report.ok else
+                 f"checked {report.files_checked} files: clean"
+                 + (f" ({len(report.suppressed)} suppressed)"
+                    if report.suppressed else ""))
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    """The stable ``repro.analysis/v1`` JSON schema (sorted keys)."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: id, severity, one-line title."""
+    lines = []
+    for rule in DEFAULT_RULES:
+        lines.append(f"{rule.rule_id:>4}  [{rule.default_severity.value}]  "
+                     f"{rule.title}")
+    return "\n".join(lines)

@@ -188,7 +188,10 @@ class BgpProtocol:
                 return
             del rib[update.sender_asn]
         else:
-            assert update.route is not None
+            if update.route is None:
+                raise RoutingError(
+                    f"announcement for {update.prefix} from "
+                    f"AS{update.sender_asn} carries no route")
             imported = self.policy.accept(speaker.domain, update.route,
                                           update.sender_asn)
             if imported is None:
@@ -354,7 +357,10 @@ class BgpProtocol:
             if route.originated:
                 continue  # internal destinations are the IGP's job
             next_hop_asn = route.learned_from
-            assert next_hop_asn is not None
+            if next_hop_asn is None:
+                raise RoutingError(
+                    f"non-originated loc-rib route for {prefix} in AS{asn} "
+                    "has no learned_from neighbor")
             egress = self._egress_links(asn, next_hop_asn)
             if not egress:
                 continue  # session exists but no live physical link

@@ -10,7 +10,10 @@ Runs the library's headline experiments from the shell:
   deployment and report the failover as JSON;
 * ``obs`` — run an experiment under the observability layer: structured
   JSONL trace plus a metrics summary (scheduler event counts, SPF
-  recomputations, per-outcome forwarding counters, ...).
+  recomputations, per-outcome forwarding counters, ...);
+* ``lint`` — run the determinism & invariant linter
+  (:mod:`repro.analysis`) over the source tree: seeded-RNG, wall-clock,
+  iteration-order, obs-guard, and public-API rules (D1–D5).
 
 Every command is seeded and deterministic; ``--save``/``--load`` move
 topologies through the JSON format in :mod:`repro.net.serialize`; all
@@ -21,6 +24,7 @@ serialization contract.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.core.evolution import EvolvableInternet
@@ -299,6 +303,31 @@ def _obs_self_check(args: argparse.Namespace) -> int:
         os.unlink(path)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism & invariant linter (the CI correctness gate).
+
+    Exit status 0 means every checked file parsed and no unsuppressed
+    finding remains; 1 means findings (or parse errors); 2 means the
+    invocation itself was bad (unknown rule, missing path).
+    """
+    from repro.analysis import (AnalysisError, lint_paths, render_human,
+                                render_json, render_rule_list)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        report = lint_paths(args.paths or ["src"], rule_ids=args.rule)
+    except AnalysisError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_human(report, show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
 def cmd_adoption(args: argparse.Namespace) -> int:
     print(f"{'seed':>5} {'UA share':>9} {'walled share':>13}")
     for seed in range(args.seeds):
@@ -383,6 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--self-check", action="store_true",
                        help="smoke-test the observability pipeline (CI)")
     p_obs.set_defaults(func=cmd_obs)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism & invariant linter (D1-D5)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the repro.analysis/v1 JSON report")
+    p_lint.add_argument("--rule", action="append", metavar="ID",
+                        help="run only this rule (repeatable, e.g. D1)")
+    p_lint.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and descriptions")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -21,7 +21,16 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.errors import DeploymentError
 from repro.net.network import Network
-from repro.vnbone.deployment import VnDeployment
+from repro.vnbone.deployment import VnDeployment, adoption_rng
+
+
+def _apply_step(deployment: VnDeployment, step: "AdoptionStep") -> None:
+    """Adopt per *step*, threading the canonical per-AS rng when partial."""
+    if step.fraction >= 1.0:
+        deployment.deploy(step.asn)
+    else:
+        deployment.deploy(step.asn, fraction=step.fraction,
+                          rng=adoption_rng(step.asn))
 
 
 @dataclass(frozen=True)
@@ -128,7 +137,7 @@ class ScenarioRunner:
             row.setdefault("adopted_asn", None)
             result.rows.append(row)
         for index, step in enumerate(schedule, start=1):
-            self.deployment.deploy(step.asn, fraction=step.fraction)
+            _apply_step(self.deployment, step)
             self.deployment.rebuild()
             row = dict(probe(index, self.deployment))
             row.setdefault("step", index)
@@ -146,7 +155,7 @@ class ScenarioRunner:
         result = ScenarioResult()
         adopted: List[int] = []
         for index, step in enumerate(schedule, start=1):
-            self.deployment.deploy(step.asn, fraction=step.fraction)
+            _apply_step(self.deployment, step)
             adopted.append(step.asn)
             if index % churn_every == 0 and len(adopted) > 1:
                 victim = adopted.pop(rng.randrange(len(adopted) - 1))

@@ -79,7 +79,7 @@ class Orchestrator:
         """Run all protocols to quiescence and install forwarding state."""
         observed = self.obs.enabled
         if observed:
-            wall0 = time.perf_counter()
+            wall_t0 = time.perf_counter()
         processed = 0
         for asn in sorted(self.igps):
             igp = self.igps[asn]
@@ -93,7 +93,7 @@ class Orchestrator:
         self.bgp.install_routes()
         self._converged = True
         if observed:
-            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.counter("orchestrator.convergences").inc()
             self.obs.histogram("orchestrator.converge_wall_ms").observe(wall_ms)
             self.obs.event("orchestrator.converge", t=self.scheduler.now,
@@ -112,7 +112,7 @@ class Orchestrator:
             return self.converge(max_events=max_events)
         observed = self.obs.enabled
         if observed:
-            wall0 = time.perf_counter()
+            wall_t0 = time.perf_counter()
         for asn in sorted(self.igps):
             self.igps[asn].refresh()
         # Tear down crashed speakers and BGP sessions whose physical
@@ -122,7 +122,7 @@ class Orchestrator:
         processed = self.scheduler.run_until_idle(max_events=max_events)
         self.install_routes()
         if observed:
-            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.counter("orchestrator.reconvergences").inc()
             self.obs.histogram("orchestrator.reconverge_wall_ms").observe(wall_ms)
             self.obs.event("orchestrator.reconverge", t=self.scheduler.now,

@@ -8,7 +8,7 @@ from repro.anycast import DefaultRootedAnycast, GlobalAnycast
 from repro.core.evolution import EvolvableInternet
 from repro.core.metrics import measure_reachability, vn_tail_length
 from repro.topogen import InternetSpec
-from repro.vnbone import EgressPolicy
+from repro.vnbone import EgressPolicy, adoption_rng
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.common import converged_internet, experiment_spec
 
@@ -32,7 +32,8 @@ def _run_policy(policy):
     adopted = 0
     for target in E10_ADOPTION_STEPS:
         while adopted < target:
-            deployment.deploy(order[adopted], fraction=0.5)
+            deployment.deploy(order[adopted], fraction=0.5,
+                              rng=adoption_rng(order[adopted]))
             adopted += 1
         deployment.rebuild()
         report = measure_reachability(internet.network, deployment.send,

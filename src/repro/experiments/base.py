@@ -35,7 +35,7 @@ import inspect
 import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.net.errors import ReproError
 from repro.obs import Observability, observing
@@ -97,7 +97,7 @@ class ExperimentInfo:
     description: str
     runner: Callable[..., ExperimentResult]
     #: Which of (seed, params) the runner's signature accepts.
-    accepts: frozenset = frozenset()
+    accepts: FrozenSet[str] = frozenset()
 
     def call(self, seed: Optional[int] = None,
              params: Optional[Dict[str, object]] = None) -> ExperimentResult:
@@ -128,7 +128,8 @@ class ExperimentInfo:
 _REGISTRY: Dict[str, ExperimentInfo] = {}
 
 
-def _threadable_kwargs(runner: Callable[..., ExperimentResult]) -> frozenset:
+def _threadable_kwargs(
+        runner: Callable[..., ExperimentResult]) -> FrozenSet[str]:
     """Which of ``seed``/``params`` can be passed to *runner* by keyword."""
     try:
         signature = inspect.signature(runner)
@@ -145,10 +146,14 @@ def _threadable_kwargs(runner: Callable[..., ExperimentResult]) -> frozenset:
     return frozenset(accepts)
 
 
-def register(experiment_id: str, description: str):
+_Runner = Callable[..., ExperimentResult]
+
+
+def register(experiment_id: str,
+             description: str) -> Callable[[_Runner], _Runner]:
     """Decorator registering an experiment runner under *experiment_id*."""
 
-    def wrap(runner: Callable[..., ExperimentResult]):
+    def wrap(runner: _Runner) -> _Runner:
         if experiment_id in _REGISTRY:
             raise ReproError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = ExperimentInfo(

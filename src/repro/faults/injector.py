@@ -212,5 +212,8 @@ class FaultInjector:
 
     def _link(self, event: FaultEvent) -> Link:
         link = self.orchestrator.network.link_between(*event.target)
-        assert link is not None  # plan.validate() checked existence
+        if link is None:
+            raise FaultError(
+                f"fault event targets nonexistent link {event.target}; "
+                "was the plan validated against a different network?")
         return link

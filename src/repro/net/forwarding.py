@@ -303,7 +303,7 @@ class ForwardingEngine:
             self._observe_trace(trace, start)
         return trace
 
-    def _observe_trace(self, trace: ForwardingTrace, start: str) -> None:
+    def _observe_trace(self, trace: ForwardingTrace, start: str) -> None:  # repro: allow[D4]
         """Per-outcome counters, hop/depth histograms, one trace event."""
         self._outcome_counters[trace.outcome].inc()
         obs = self.obs

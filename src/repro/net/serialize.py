@@ -53,7 +53,7 @@ def network_to_dict(network: Network) -> Dict:
     links = []
     for key in sorted(network.links):
         link = network.links[key]
-        endpoints = {link.a, link.b}
+        endpoints = (link.a, link.b)
         if any(network.nodes[end].is_host for end in endpoints):
             continue  # host access links are recreated by add_host
         links.append({"a": link.a, "b": link.b, "cost": link.cost,

@@ -221,7 +221,7 @@ class EventScheduler:
         """
         observed = self.obs.enabled
         if observed:
-            wall0 = time.perf_counter()
+            wall_t0 = time.perf_counter()
             sim0 = self._now
         processed = 0
         while self.step():
@@ -231,7 +231,7 @@ class EventScheduler:
                     f"event budget exhausted after {max_events} events; "
                     "a protocol is likely not converging")
         if observed:
-            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.histogram("scheduler.drain_wall_ms").observe(wall_ms)
             self.obs.event("scheduler.drain", t=self._now, events=processed,
                            sim_elapsed=self._now - sim0, wall_ms=wall_ms)

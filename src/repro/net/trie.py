@@ -105,7 +105,7 @@ class PrefixTrie(Generic[V]):
         # Prune now-empty leaf chain.
         for parent, bit in reversed(path):
             child = parent.children[bit]
-            assert child is not None
+            assert child is not None  # repro: allow[D5] - prune-path invariant
             if child.value is _SENTINEL and child.children[0] is None and child.children[1] is None:
                 parent.children[bit] = None
             else:
@@ -136,7 +136,7 @@ class PrefixTrie(Generic[V]):
         best: Optional[Tuple[Prefix, V]] = None
         node = self._root
         if node.value is not _SENTINEL:
-            assert node.prefix is not None
+            assert node.prefix is not None  # repro: allow[D5] - value implies prefix
             best = (node.prefix, node.value)  # type: ignore[assignment]
         value = address.value
         for i in range(self._bits):
@@ -146,7 +146,7 @@ class PrefixTrie(Generic[V]):
                 break
             node = child
             if node.value is not _SENTINEL:
-                assert node.prefix is not None
+                assert node.prefix is not None  # repro: allow[D5] - value implies prefix
                 best = (node.prefix, node.value)  # type: ignore[assignment]
         return best
 
@@ -158,7 +158,7 @@ class PrefixTrie(Generic[V]):
         matches: List[Tuple[Prefix, V]] = []
         node = self._root
         if node.value is not _SENTINEL:
-            assert node.prefix is not None
+            assert node.prefix is not None  # repro: allow[D5] - value implies prefix
             matches.append((node.prefix, node.value))  # type: ignore[arg-type]
         value = address.value
         for i in range(self._bits):
@@ -168,7 +168,7 @@ class PrefixTrie(Generic[V]):
                 break
             node = child
             if node.value is not _SENTINEL:
-                assert node.prefix is not None
+                assert node.prefix is not None  # repro: allow[D5] - value implies prefix
                 matches.append((node.prefix, node.value))  # type: ignore[arg-type]
         return matches
 
@@ -178,7 +178,7 @@ class PrefixTrie(Generic[V]):
         while stack:
             node = stack.pop()
             if node.value is not _SENTINEL:
-                assert node.prefix is not None
+                assert node.prefix is not None  # repro: allow[D5] - value implies prefix
                 yield node.prefix, node.value  # type: ignore[misc]
             # Push right then left so left (0-bit) branches pop first.
             if node.children[1] is not None:

@@ -32,22 +32,22 @@ NULL_PROBE = NullProbe()
 class Probe:
     """One live timing span bound to an observability handle."""
 
-    __slots__ = ("_obs", "name", "fields", "_wall0", "wall_ms")
+    __slots__ = ("_obs", "name", "fields", "_wall_t0", "wall_ms")
 
     def __init__(self, obs: object, name: str,
                  fields: Optional[Dict[str, object]] = None) -> None:
         self._obs = obs
         self.name = name
         self.fields = fields or {}
-        self._wall0 = 0.0
+        self._wall_t0 = 0.0
         self.wall_ms: Optional[float] = None
 
     def __enter__(self) -> "Probe":
-        self._wall0 = time.perf_counter()
+        self._wall_t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.wall_ms = (time.perf_counter() - self._wall0) * 1000.0
+        self.wall_ms = (time.perf_counter() - self._wall_t0) * 1000.0
         obs = self._obs
         obs.histogram(f"probe.{self.name}_wall_ms").observe(self.wall_ms)
         obs.event("probe", name=self.name, wall_ms=self.wall_ms, **self.fields)

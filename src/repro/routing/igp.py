@@ -82,13 +82,13 @@ class IgpProtocol(abc.ABC):
         """Drain protocol messages, then install routes.  Returns events run."""
         observed = self.obs.enabled
         if observed:
-            wall0 = time.perf_counter()
+            wall_t0 = time.perf_counter()
         if not self._started:
             self.start()
         processed = self.scheduler.run_until_idle(max_events=max_events)
         self.install_routes()
         if observed:
-            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.histogram("igp.converge_wall_ms").observe(wall_ms)
             self.obs.event("igp.converge", t=self.scheduler.now,
                            asn=self.domain.asn, protocol=type(self).__name__,

@@ -72,12 +72,18 @@ def random_domain(network: Network, asn: int, count: int,
                   prefix: str = "as") -> List[str]:
     """A random connected graph: random spanning tree plus extra chords.
 
-    Link costs are drawn uniformly from *cost_range*; with a fixed
-    *rng* the result is deterministic.
+    Link costs are drawn uniformly from *cost_range*.  *rng* is
+    required: all randomness must be threaded from the caller's seed
+    (there is no implicit per-ASN fallback), so a given rng state
+    always yields the same graph.
     """
     if count < 1:
         raise TopologyError("a domain needs at least one router")
-    rng = rng if rng is not None else random.Random(asn)
+    if rng is None:
+        raise TopologyError(
+            "random_domain needs an explicit seeded rng (e.g. "
+            "rng=random.Random(spec.seed * 1000 + asn)); the implicit "
+            "per-ASN fallback was removed so all randomness is threaded")
     ids = _router_ids(asn, count, prefix)
     for index, router_id in enumerate(ids):
         network.add_router(router_id, asn, is_border=index < border_count)
@@ -114,7 +120,11 @@ def build_domain_routers(network: Network, asn: int, count: int, style: str,
                          border_count: int = 1,
                          rng: Optional[random.Random] = None,
                          prefix: str = "as") -> List[str]:
-    """Dispatch to a generator by *style* name ("ring", "star", "random")."""
+    """Dispatch to a generator by *style* name ("ring", "star", "random").
+
+    The "random" style requires an explicit seeded *rng* (see
+    :func:`random_domain`); the deterministic styles ignore it.
+    """
     if style == "ring":
         return ring_domain(network, asn, count, border_count=border_count,
                            prefix=prefix)

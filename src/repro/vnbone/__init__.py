@@ -1,7 +1,7 @@
 """vN-Bone virtual networks: topology, routing, addressing, egress (Section 3.3)."""
 
 from repro.vnbone.addressing import VnAddressPlan
-from repro.vnbone.deployment import VnDeployment
+from repro.vnbone.deployment import VnDeployment, adoption_rng
 from repro.vnbone.egress import (EGRESS_AS_HOP_COST, EgressPolicy, HostRegistry,
                                  external_owner_entries)
 from repro.vnbone.bgpvn import BgpVnRoute, BgpVnSolver, LayeredVnRouting
@@ -15,7 +15,8 @@ from repro.vnbone.state import (VnAction, VnFib, VnFibEntry, VnRouterState,
                                 native_domain_prefix, vn_prefix_for_ipv4)
 from repro.vnbone.topology import VnBoneTopology, VnTunnel
 
-__all__ = ["VnAddressPlan", "VnDeployment", "EGRESS_AS_HOP_COST", "EgressPolicy",
+__all__ = ["VnAddressPlan", "VnDeployment", "adoption_rng",
+           "EGRESS_AS_HOP_COST", "EgressPolicy",
            "BgpVnRoute", "BgpVnSolver", "LayeredVnRouting", "MobilityService",
            "MoveRecord",
            "VN_MULTICAST_FLAG", "GroupState", "McastEntry", "VnMulticastService",

@@ -136,7 +136,7 @@ class LayeredVnRouting:
                     if v in settled:
                         continue
                     heapq.heappush(heap, (d + cost, v, v if hop is None else hop))
-            self._intra_dist[source] = {n: dist[n] for n in settled}
+            self._intra_dist[source] = {n: dist[n] for n in sorted(settled)}
             self._intra_hop[source] = first
 
     # -- the full computation ---------------------------------------------------------

@@ -44,6 +44,22 @@ from repro.vnbone.state import VnAction, VnRouterState
 from repro.vnbone.topology import VnBoneTopology, VnTunnel
 
 
+#: Knuth's multiplicative-hash constant: spreads consecutive ASNs into
+#: well-separated seeds for per-AS adoption sampling.
+_ADOPTION_SEED_SALT = 2_654_435_761
+
+
+def adoption_rng(asn: int, seed: int = 0) -> random.Random:
+    """The canonical seeded RNG for AS *asn*'s fractional (A1) adoption.
+
+    Every fractional :meth:`VnDeployment.deploy` call site threads one
+    of these explicitly — there is no implicit fallback — so which
+    routers upgrade is a pure function of ``(asn, seed)`` and the
+    determinism linter's D1 rule holds across the tree.
+    """
+    return random.Random(asn * _ADOPTION_SEED_SALT + seed)
+
+
 class VnDeployment:
     """A (possibly partial) deployment of one next-generation IP."""
 
@@ -90,9 +106,10 @@ class VnDeployment:
         """Have AS *asn* adopt IPvN on some of its routers.
 
         With neither ``router_ids`` nor ``fraction`` the whole domain
-        upgrades; ``fraction`` picks a deterministic pseudo-random
-        subset (at least one router) — assumption A1's partial
-        intra-ISP deployment.
+        upgrades; ``fraction`` picks a pseudo-random subset (at least
+        one router) — assumption A1's partial intra-ISP deployment —
+        drawn from *rng*, which fractional callers must supply
+        explicitly (:func:`adoption_rng` is the canonical choice).
         """
         if asn not in self.network.domains:
             raise DeploymentError(f"unknown domain AS{asn}")
@@ -105,9 +122,13 @@ class VnDeployment:
         elif fraction is not None:
             if not 0.0 < fraction <= 1.0:
                 raise DeploymentError(f"fraction must be in (0, 1], got {fraction}")
+            if rng is None:
+                raise DeploymentError(
+                    "fractional deployment needs an explicit seeded rng "
+                    "(e.g. rng=adoption_rng(asn)); the implicit per-AS "
+                    "fallback was removed so all randomness is threaded")
             count = max(1, math.ceil(fraction * len(available)))
-            picker = rng if rng is not None else random.Random(asn * 2_654_435_761)
-            chosen = set(picker.sample(available, count))
+            chosen = set(rng.sample(available, count))
         else:
             chosen = set(available)
         domain.deploy_version(self.version, chosen)
@@ -156,7 +177,7 @@ class VnDeployment:
         obs = self.orchestrator.obs
         observed = obs.enabled
         if observed:
-            wall0 = time.perf_counter()
+            wall_t0 = time.perf_counter()
         self.orchestrator.reconverge()
         self.scheme.post_converge_install()
         # Crashed members cannot terminate tunnels or own prefixes; the
@@ -191,7 +212,7 @@ class VnDeployment:
             self.routing.compute(self.states, entries)
         self._dirty = False
         if observed:
-            wall_ms = (time.perf_counter() - wall0) * 1000.0
+            wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             obs.counter("vnbone.rebuilds").inc()
             obs.histogram("vnbone.rebuild_wall_ms").observe(wall_ms)
             obs.event("vnbone.rebuild",

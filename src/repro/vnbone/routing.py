@@ -80,7 +80,7 @@ class VnRouting:
                     continue
                 next_hop = v if hop is None else hop
                 heapq.heappush(heap, (d + cost, v, next_hop))
-        self._dist[source] = {n: dist[n] for n in settled}
+        self._dist[source] = {n: dist[n] for n in sorted(settled)}
         self._first_hop[source] = first
 
     def compute(self, states: Dict[str, VnRouterState],

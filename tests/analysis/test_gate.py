@@ -1,0 +1,59 @@
+"""The meta-test: the repository's own source tree must lint clean.
+
+This is the same gate CI runs (``python -m repro lint src --json``);
+keeping it in the tier-1 suite means a determinism-convention
+regression fails the ordinary test run, not just the lint job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestSourceTreeIsClean:
+    def test_lint_src_programmatic(self):
+        report = lint_paths([str(SRC)])
+        assert report.parse_errors == []
+        assert report.ok, "\n".join(f.format() for f in report.unsuppressed)
+
+    def test_lint_src_cli_exits_zero(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC), "--json"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == "repro.analysis/v1"
+        assert payload["ok"] is True
+        assert payload["counts"]["unsuppressed"] == 0
+
+    def test_cli_reports_findings_with_exit_one(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "net" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    for x in {1, 2}:\n        print(x)\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(tmp_path), "--json"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["counts"]["by_rule"] == {"D3": 1}
+
+    def test_cli_bad_rule_exits_two(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC),
+             "--rule", "D9"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.evolution import EvolvableInternet
 from repro.topogen import InternetSpec
-from repro.vnbone import EgressPolicy
+from repro.vnbone import EgressPolicy, adoption_rng
 
 
 def build_internet(seed, igp_overrides=None):
@@ -60,7 +60,9 @@ class TestPartialIntraIspDeployment:
     def test_fractional_deployment(self, fraction):
         internet = build_internet(4)
         deployment = internet.new_deployment(version=8, scheme="default")
-        deployment.deploy(deployment.scheme.default_asn, fraction=fraction)
+        adopter = deployment.scheme.default_asn
+        deployment.deploy(adopter, fraction=fraction,
+                          rng=adoption_rng(adopter))
         deployment.rebuild()
         report = internet.reachability(8, sample=30)
         assert report.delivery_ratio == 1.0, report.failures

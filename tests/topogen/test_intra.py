@@ -92,6 +92,10 @@ class TestRandom:
         random_domain(net, 1, 8, rng=random.Random(1), cost_range=(2.0, 3.0))
         assert all(2.0 <= l.cost <= 3.0 for l in net.links.values())
 
+    def test_rng_is_required(self):
+        with pytest.raises(TopologyError, match="seeded rng"):
+            random_domain(fresh_network(), 1, 8)
+
 
 class TestDispatch:
     @pytest.mark.parametrize("style", ["ring", "star", "random"])
@@ -104,3 +108,7 @@ class TestDispatch:
     def test_unknown_style(self):
         with pytest.raises(TopologyError):
             build_domain_routers(fresh_network(), 1, 3, "mobius")
+
+    def test_random_style_requires_rng(self):
+        with pytest.raises(TopologyError, match="seeded rng"):
+            build_domain_routers(fresh_network(), 1, 5, "random")

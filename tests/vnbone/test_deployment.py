@@ -5,7 +5,7 @@ import pytest
 from repro.net import Outcome
 from repro.net.errors import DeploymentError
 from repro.anycast import DefaultRootedAnycast, GlobalAnycast
-from repro.vnbone import EgressPolicy, VnDeployment
+from repro.vnbone import EgressPolicy, VnDeployment, adoption_rng
 
 
 @pytest.fixture
@@ -23,11 +23,15 @@ class TestLifecycle:
 
     def test_deploy_fraction_is_partial_and_deterministic(self, converged_hub,
                                                           deployment):
-        chosen = deployment.deploy(2, fraction=0.5)
+        chosen = deployment.deploy(2, fraction=0.5, rng=adoption_rng(2))
         assert len(chosen) == 1
         scheme2 = GlobalAnycast(converged_hub, "other")
         dep2 = VnDeployment(converged_hub, scheme2, version=9)
-        assert dep2.deploy(2, fraction=0.5) == chosen
+        assert dep2.deploy(2, fraction=0.5, rng=adoption_rng(2)) == chosen
+
+    def test_deploy_fraction_requires_rng(self, deployment):
+        with pytest.raises(DeploymentError, match="seeded rng"):
+            deployment.deploy(2, fraction=0.5)
 
     def test_deploy_explicit_subset(self, deployment):
         assert deployment.deploy(2, router_ids={"x2"}) == {"x2"}
