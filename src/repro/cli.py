@@ -13,7 +13,11 @@ Runs the library's headline experiments from the shell:
   recomputations, per-outcome forwarding counters, ...);
 * ``lint`` — run the determinism & invariant linter
   (:mod:`repro.analysis`) over the source tree: seeded-RNG, wall-clock,
-  iteration-order, obs-guard, and public-API rules (D1–D5).
+  iteration-order, obs-guard, and public-API rules (D1–D5);
+* ``bench`` — run the seeded perf-trajectory workload matrix
+  (:mod:`repro.perf.bench`) cached and uncached, write the
+  ``repro.bench/v1`` JSON, and fail unless cached Dijkstra work shrank
+  with bit-identical experiment metrics.
 
 Every command is seeded and deterministic; ``--save``/``--load`` move
 topologies through the JSON format in :mod:`repro.net.serialize`; all
@@ -328,6 +332,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf workload matrix and write ``BENCH_*.json``.
+
+    Exit status 0 requires (a) a schema-valid document, (b) bit-identical
+    cached/uncached experiment metrics for every workload, and (c) fewer
+    total Dijkstra runs cached than uncached.  Wall seconds are recorded
+    for trajectory plots but never gated on.
+    """
+    import json
+
+    from repro.perf.bench import run_bench, validate_bench_dict, write_bench
+
+    doc = run_bench(seed=args.seed, quick=args.quick)
+    path = write_bench(doc, args.out)
+    errors = validate_bench_dict(doc)
+    totals: dict = doc["totals"]  # type: ignore[assignment]
+    runs: dict = totals["dijkstra_runs"]
+    if not totals["identical_metrics"]:
+        errors.append("cached metrics diverged from the uncached baseline")
+    if not runs["cached"] < runs["uncached"]:
+        errors.append(
+            f"caching saved no Dijkstra runs ({runs['cached']} cached vs "
+            f"{runs['uncached']} uncached)")
+    status = {"ok": not errors, "out": path,
+              "dijkstra_runs": runs,
+              "identical_metrics": totals["identical_metrics"]}
+    if errors:
+        status["errors"] = errors[:10]
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if not errors else 1
+
+
 def cmd_adoption(args: argparse.Namespace) -> int:
     print(f"{'seed':>5} {'UA share':>9} {'walled share':>13}")
     for seed in range(args.seeds):
@@ -426,6 +462,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list rule ids and descriptions")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf workload matrix (repro.bench/v1)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small topology / fewer samples (CI smoke)")
+    p_bench.add_argument("--seed", type=int, default=42,
+                         help="workload seed (the matrix is a pure "
+                              "function of it)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_PR4.json",
+                         help="where to write the JSON document")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -162,12 +162,18 @@ class ForwardingTrace:
     #: Last node at which the packet was carried inside the vN-Bone.
     last_vn_node: Optional[str] = None
     drop_reason: str = ""
+    #: Sticky flag set at :meth:`record` time so :attr:`faulted` never
+    #: has to rescan the hop list (it is read per trace by both
+    #: ``_observe_trace`` and ``to_dict``).
+    _fault_recorded: bool = field(default=False, repr=False)
 
     def record(self, node: Node, action: str, detail: str = "", depth: int = 1,
                faulted: bool = False) -> None:
         self.hops.append(HopRecord(node_id=node.node_id, domain_id=node.domain_id,
                                    action=action, detail=detail, depth=depth,
                                    faulted=faulted))
+        if faulted:
+            self._fault_recorded = True
 
     @property
     def delivered(self) -> bool:
@@ -176,8 +182,7 @@ class ForwardingTrace:
     @property
     def faulted(self) -> bool:
         """Whether the walk encountered injected-fault state anywhere."""
-        return (self.outcome is Outcome.FAULT_DROPPED
-                or any(hop.faulted for hop in self.hops))
+        return self.outcome is Outcome.FAULT_DROPPED or self._fault_recorded
 
     def node_path(self) -> List[str]:
         """Distinct consecutive node ids visited, in order."""

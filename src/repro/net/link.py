@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.net.errors import TopologyError
 
@@ -38,6 +38,11 @@ class Link:
     scope: LinkScope = LinkScope.INTRA_DOMAIN
     up: bool = True
     name: str = field(default="")
+    #: Invoked whenever ``up`` actually flips; :meth:`Network.add_link`
+    #: wires this to the topology-version bump so fault injectors that
+    #: toggle links directly still invalidate path caches.
+    _on_state_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.a == self.b:
@@ -63,11 +68,17 @@ class Link:
 
     def fail(self) -> None:
         """Take the link down (failure injection)."""
-        self.up = False
+        if self.up:
+            self.up = False
+            if self._on_state_change is not None:
+                self._on_state_change()
 
     def restore(self) -> None:
         """Bring the link back up."""
-        self.up = True
+        if not self.up:
+            self.up = True
+            if self._on_state_change is not None:
+                self._on_state_change()
 
     def __str__(self) -> str:
         state = "up" if self.up else "DOWN"

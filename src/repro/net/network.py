@@ -9,13 +9,15 @@ stretch.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net.address import IPv4Address, Prefix
 from repro.net.domain import Domain, Relationship
 from repro.net.errors import TopologyError
 from repro.net.link import Link, LinkScope
 from repro.net.node import FibEntry, Host, Node, NodeKind, RouteSource, Router
+from repro.obs import get_obs
+from repro.perf.cache import PathCache
 
 #: The default route hosts point at their access router.
 DEFAULT_ROUTE = Prefix(IPv4Address(0), 0)
@@ -29,6 +31,19 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.domains: Dict[int, Domain] = {}
         self._addr_index: Dict[IPv4Address, str] = {}
+        self.obs = get_obs()
+        self._topology_version = 0
+        #: Memoized shortest-path trees, invalidated by version bumps.
+        self.path_cache = PathCache(self)
+
+    # -- topology versioning ----------------------------------------------
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped by every path-relevant mutation."""
+        return self._topology_version
+
+    def _bump_topology_version(self) -> None:
+        self._topology_version += 1
 
     # -- construction ---------------------------------------------------
     def add_domain(self, domain: Domain) -> Domain:
@@ -106,6 +121,8 @@ class Network:
         self.links[key] = link
         node_a.links.append(link)
         node_b.links.append(link)
+        link._on_state_change = self._bump_topology_version  # noqa: SLF001 - network owns its links
+        self._bump_topology_version()
         return link
 
     def connect_domains(self, asn_a: int, asn_b: int, border_a: str, border_b: str,
@@ -172,10 +189,25 @@ class Network:
 
         With ``intra_domain_only`` the search never crosses an
         inter-domain link (used by IGPs and intra-domain metrics).
+
+        When the :class:`~repro.perf.cache.PathCache` is enabled the
+        answer comes from the memoized shortest-path tree rooted at
+        *src* — bit-identical to the early-exit search (same heap
+        order, strict-``<`` relaxation, same neighbor order).
         """
         if src == dst:
             return 0.0, [src]
         self.node(src), self.node(dst)
+        if self.path_cache.enabled:
+            return self.path_cache.shortest_path(src, dst, intra_domain_only)
+        return self._compute_shortest_path(src, dst, intra_domain_only)
+
+    def _compute_shortest_path(self, src: str, dst: str,
+                               intra_domain_only: bool = False
+                               ) -> Optional[Tuple[float, List[str]]]:
+        """The raw early-exit Dijkstra (uncached baseline)."""
+        if self.obs.enabled:
+            self.obs.counter("perf.dijkstra_runs").inc()
         dist: Dict[str, float] = {src: 0.0}
         prev: Dict[str, str] = {}
         heap: List[Tuple[float, str]] = [(0.0, src)]
@@ -204,8 +236,25 @@ class Network:
         """Full Dijkstra from *src*: node -> (distance, predecessor).
 
         ``domain`` additionally restricts the traversal to one AS's nodes
-        (used by link-state SPF).
+        (used by link-state SPF).  Served from the
+        :class:`~repro.perf.cache.PathCache` when it is enabled; callers
+        must treat the returned tree as read-only.
         """
+        if self.path_cache.enabled:
+            return self.path_cache.tree(src, intra_domain_only, domain)
+        return self._compute_shortest_path_tree(src, intra_domain_only, domain)
+
+    def _compute_shortest_path_tree(
+            self, src: str, intra_domain_only: bool = False,
+            domain: Optional[int] = None
+    ) -> Dict[str, Tuple[float, Optional[str]]]:
+        """The raw full Dijkstra behind :meth:`shortest_path_tree`."""
+        if self.obs.enabled:
+            self.obs.counter("perf.dijkstra_runs").inc()
+        allowed: Optional[Set[str]] = None
+        if domain is not None:
+            dom = self._require_domain(domain)
+            allowed = dom.routers | dom.hosts
         dist: Dict[str, Tuple[float, Optional[str]]] = {src: (0.0, None)}
         heap: List[Tuple[float, str]] = [(0.0, src)]
         settled: Dict[str, float] = {}
@@ -217,7 +266,7 @@ class Network:
             for v, link in self.neighbors(u):
                 if intra_domain_only and link.scope is LinkScope.INTER_DOMAIN:
                     continue
-                if domain is not None and self.node(v).domain_id != domain:
+                if allowed is not None and v not in allowed:
                     continue
                 nd = d + link.cost
                 if v not in dist or nd < dist[v][0]:
@@ -250,6 +299,8 @@ class Network:
             del self.links[old_link.endpoints()]
             old_access.links.remove(old_link)
             host.links.remove(old_link)
+            old_link._on_state_change = None  # noqa: SLF001 - link detached
+            self._bump_topology_version()
         old_access.fib4.withdraw(Prefix.host(host.ipv4), RouteSource.CONNECTED)
         host.fib4.withdraw(DEFAULT_ROUTE, RouteSource.STATIC)
         self.domains[host.domain_id].hosts.discard(host_id)
@@ -305,6 +356,7 @@ class Network:
         """
         node = self.node(node_id)
         node.up = False
+        self._bump_topology_version()
         failed = []
         for link in node.links:
             if link.up:
@@ -323,6 +375,7 @@ class Network:
         """
         node = self.node(node_id)
         node.up = True
+        self._bump_topology_version()
         candidates = node.links if links is None else list(links)
         restored = []
         for link in candidates:

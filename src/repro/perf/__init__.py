@@ -1,0 +1,19 @@
+"""repro.perf: topology-versioned path caching + the bench harness.
+
+Two halves:
+
+* :mod:`repro.perf.cache` — the :class:`PathCache` memoizing the
+  network's ground-truth Dijkstra trees per ``topology_version``, and
+  the process-wide :func:`caching` default the per-layer SPF caches
+  (link-state IGP, vN-Bone routing, vN-Bone topology) consult at
+  construction time.
+* :mod:`repro.perf.bench` — the reproducible perf-trajectory harness
+  behind ``python -m repro bench`` (schema ``repro.bench/v1``).  It is
+  *not* imported here: bench pulls in the whole experiment stack, and
+  this package must stay importable from :mod:`repro.net.network`.
+"""
+
+from repro.perf.cache import (PathCache, caching, caching_enabled,
+                              set_caching_default)
+
+__all__ = ["PathCache", "caching", "caching_enabled", "set_caching_default"]

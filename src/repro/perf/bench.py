@@ -1,0 +1,337 @@
+"""The reproducible perf-trajectory harness (``python -m repro bench``).
+
+Runs a fixed, seeded workload matrix — initial convergence, a staged
+reachability sweep, a fault epoch, and a multicast fanout — **twice**
+per workload: once with the path/SPF caches enabled and once with the
+uncached baseline (:func:`repro.perf.caching`).  Each leg executes
+under its own :class:`~repro.obs.Observability` handle, so the emitted
+document carries per-leg wall seconds, Dijkstra/SPF run counts, and
+cache hit rates, plus the correctness bit that matters most:
+``identical_metrics`` — the canonical JSON form of each workload's
+experiment output must be bit-identical between the two legs.
+
+The output schema is ``repro.bench/v1``::
+
+    {
+      "schema": "repro.bench/v1",
+      "seed": 42,
+      "quick": false,
+      "workloads": {
+        "<name>": {
+          "wall_seconds":  {"cached": float, "uncached": float},
+          "dijkstra_runs": {"cached": int,   "uncached": int},
+          "spf_runs":      {"cached": int,   "uncached": int},
+          "path_cache": {"hits": int, "misses": int,
+                          "invalidations": int, "hit_rate": float},
+          "spf_cache":  {"hits": int, "hit_rate": float},
+          "identical_metrics": bool
+        }, ...
+      },
+      "totals": {"dijkstra_runs": {"cached": int, "uncached": int},
+                  "wall_seconds":  {"cached": float, "uncached": float},
+                  "identical_metrics": bool}
+    }
+
+``wall_seconds`` is the only nondeterministic field (hence the
+``wall_`` prefix, per the tracing convention); everything else is a
+pure function of the seed.  Regression tooling should compare counter
+fields across ``BENCH_*.json`` files and *plot* wall seconds, never
+gate on them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.evolution import EvolvableInternet
+from repro.faults.plan import FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.net.errors import ReproError
+from repro.obs import Observability, observing
+from repro.obs.serialize import json_safe
+from repro.perf.cache import caching
+from repro.topogen.hierarchy import InternetSpec
+from repro.vnbone.multicast import enable_multicast
+
+#: The emitted document's schema tag.
+BENCH_SCHEMA = "repro.bench/v1"
+#: Default output path (PR-stamped so the repo accumulates a trajectory).
+DEFAULT_BENCH_PATH = "BENCH_PR4.json"
+#: Default workload seed.
+DEFAULT_SEED = 42
+
+#: A workload builds a scenario from scratch and returns its JSON-safe
+#: experiment payload.  It must be a pure function of (seed, quick).
+WorkloadFn = Callable[[int, bool], object]
+
+
+def _spec(seed: int, quick: bool) -> InternetSpec:
+    """The benchmark topology: fixed shape, seeded wiring."""
+    if quick:
+        return InternetSpec(n_tier1=2, n_tier2=3, n_stub=5, seed=seed)
+    return InternetSpec(seed=seed)
+
+
+def _deployed_internet(seed: int, quick: bool
+                       ) -> Tuple[EvolvableInternet, object]:
+    """An internet with an IPv8 deployment in the first tier-1 and the
+    first two stub domains (the shared workload fixture)."""
+    internet = EvolvableInternet.generate(_spec(seed, quick), seed=seed)
+    tier1 = internet.tier1_asns()
+    stubs = internet.stub_asns()
+    deployment = internet.new_deployment(version=8, scheme="default",
+                                         default_asn=tier1[0])
+    deployment.deploy(tier1[0])
+    for asn in stubs[:2]:
+        deployment.deploy(asn)
+    deployment.rebuild()
+    return internet, deployment
+
+
+# -- the workload matrix ----------------------------------------------------
+def workload_converge(seed: int, quick: bool) -> object:
+    """Build + converge + deploy + rebuild; payload is the topology
+    summary, the adopter map, and control-plane message totals."""
+    internet, _deployment = _deployed_internet(seed, quick)
+    return {"describe": internet.describe(),
+            "message_totals": internet.orchestrator.message_totals()}
+
+
+def workload_reachability_sweep(seed: int, quick: bool) -> object:
+    """Staged adoption sweep, measuring IPv8 reachability per stage."""
+    sample = 30 if quick else 120
+    internet, deployment = _deployed_internet(seed, quick)
+    stages = [internet.reachability(8, sample=sample, seed=seed).to_dict()]
+    remaining = [asn for asn in internet.stub_asns()
+                 if asn not in deployment.adopting_asns()]
+    for asn in remaining[:2 if quick else 4]:
+        deployment.deploy(asn)
+        deployment.rebuild()
+        stages.append(
+            internet.reachability(8, sample=sample, seed=seed).to_dict())
+    return {"stages": stages,
+            "ipv4": internet.ipv4_reachability(sample=sample,
+                                               seed=seed).to_dict()}
+
+
+def workload_fault_epoch(seed: int, quick: bool) -> object:
+    """Crash/recover a vN-Bone member under a reachability workload."""
+    sample = 20 if quick else 60
+    internet, deployment = _deployed_internet(seed, quick)
+    members = sorted(deployment.states)
+    victim = members[1] if len(members) > 1 else members[0]
+    plan = (FaultPlan()
+            .crash_node(victim, at=10.0)
+            .recover_node(victim, at=200.0))
+    injector = FaultInjector(internet.orchestrator, plan,
+                             deployments=[deployment])
+    reports = injector.play(
+        workload=lambda: internet.reachability(8, sample=sample, seed=seed))
+    return {"victim": victim,
+            "epochs": [report.to_dict() for report in reports]}
+
+
+def workload_multicast_fanout(seed: int, quick: bool) -> object:
+    """One group, every stub host joined, one source send."""
+    internet, deployment = _deployed_internet(seed, quick)
+    service = enable_multicast(deployment)
+    group = service.create_group()
+    hosts = internet.hosts()
+    receivers = hosts[1:5] if quick else hosts[1:9]
+    for host_id in receivers:
+        service.join(group, host_id)
+    service.rebuild()
+    trace = service.send(hosts[0], group)
+    return {"source": hosts[0], "receivers": receivers,
+            "trace": trace.to_dict()}
+
+
+#: Ordered (name, workload) matrix; order is part of the schema.
+WORKLOADS: List[Tuple[str, WorkloadFn]] = [
+    ("converge", workload_converge),
+    ("reachability_sweep", workload_reachability_sweep),
+    ("fault_epoch", workload_fault_epoch),
+    ("multicast_fanout", workload_multicast_fanout),
+]
+
+
+# -- leg execution ----------------------------------------------------------
+@dataclass
+class LegResult:
+    """One cached or uncached execution of one workload."""
+
+    payload: object
+    wall_seconds: float
+    counters: Dict[str, int]
+
+    def counter(self, name: str) -> int:
+        value = self.counters.get(name, 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _canonical(payload: object) -> object:
+    """Round-trip through sorted JSON so leg comparison is bit-exact."""
+    return json.loads(json.dumps(json_safe(payload), sort_keys=True))
+
+
+def run_leg(workload: WorkloadFn, seed: int, quick: bool,
+            cached: bool) -> LegResult:
+    """Run one workload leg under a fresh observability handle."""
+    obs = Observability()
+    with caching(cached):
+        with observing(obs):
+            wall_t0 = time.perf_counter()
+            payload = workload(seed, quick)
+            wall_elapsed = time.perf_counter() - wall_t0
+    counters = obs.metrics_summary()["counters"]
+    if not isinstance(counters, dict):  # pragma: no cover - registry contract
+        raise ReproError("registry snapshot has no counters mapping")
+    return LegResult(payload=_canonical(payload), wall_seconds=wall_elapsed,
+                     counters=dict(counters))
+
+
+def _rate(hits: int, total: int) -> float:
+    return hits / total if total > 0 else 0.0
+
+
+def _workload_entry(cached: LegResult,
+                    uncached: LegResult) -> Dict[str, object]:
+    path_hits = cached.counter("perf.path_cache.hits")
+    path_misses = cached.counter("perf.path_cache.misses")
+    spf_hits = (cached.counter("igp.ls.spf_cache_hits")
+                + cached.counter("vnbone.spf_cache_hits"))
+    spf_runs_cached = cached.counter("igp.ls.spf_runs")
+    return {
+        "wall_seconds": {"cached": cached.wall_seconds,
+                         "uncached": uncached.wall_seconds},
+        "dijkstra_runs": {"cached": cached.counter("perf.dijkstra_runs"),
+                          "uncached": uncached.counter("perf.dijkstra_runs")},
+        "spf_runs": {"cached": spf_runs_cached,
+                     "uncached": uncached.counter("igp.ls.spf_runs")},
+        "path_cache": {"hits": path_hits, "misses": path_misses,
+                       "invalidations":
+                           cached.counter("perf.path_cache.invalidations"),
+                       "hit_rate": _rate(path_hits, path_hits + path_misses)},
+        "spf_cache": {"hits": spf_hits,
+                      "hit_rate": _rate(spf_hits, spf_hits + spf_runs_cached)},
+        "identical_metrics": cached.payload == uncached.payload,
+    }
+
+
+def run_bench(seed: int = DEFAULT_SEED, quick: bool = False
+              ) -> Dict[str, object]:
+    """Run the whole matrix; returns the ``repro.bench/v1`` document."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    total_cached = total_uncached = 0
+    wall_total_cached = wall_total_uncached = 0.0
+    all_identical = True
+    for name, workload in WORKLOADS:
+        cached_leg = run_leg(workload, seed, quick, cached=True)
+        uncached_leg = run_leg(workload, seed, quick, cached=False)
+        entry = _workload_entry(cached_leg, uncached_leg)
+        workloads[name] = entry
+        total_cached += cached_leg.counter("perf.dijkstra_runs")
+        total_uncached += uncached_leg.counter("perf.dijkstra_runs")
+        wall_total_cached += cached_leg.wall_seconds
+        wall_total_uncached += uncached_leg.wall_seconds
+        all_identical = all_identical and bool(entry["identical_metrics"])
+    return {
+        "schema": BENCH_SCHEMA,
+        "seed": seed,
+        "quick": quick,
+        "workloads": workloads,
+        "totals": {
+            "dijkstra_runs": {"cached": total_cached,
+                              "uncached": total_uncached},
+            "wall_seconds": {"cached": wall_total_cached,
+                             "uncached": wall_total_uncached},
+            "identical_metrics": all_identical,
+        },
+    }
+
+
+# -- schema validation ------------------------------------------------------
+_PAIR_KEYS = ("cached", "uncached")
+
+
+def _check_pair(errors: List[str], where: str, value: object,
+                kind: type) -> None:
+    if not isinstance(value, dict):
+        errors.append(f"{where}: expected object, got {type(value).__name__}")
+        return
+    accepted = (int, float) if kind is float else (kind,)
+    for key in _PAIR_KEYS:
+        if key not in value:
+            errors.append(f"{where}.{key}: missing")
+        elif not isinstance(value[key], accepted) or isinstance(value[key], bool):
+            errors.append(f"{where}.{key}: expected {kind.__name__}")
+
+
+def validate_bench_dict(doc: object) -> List[str]:
+    """Validate a ``repro.bench/v1`` document; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document: expected object, got {type(doc).__name__}"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        errors.append(f"schema: expected {BENCH_SCHEMA!r}, "
+                      f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("seed"), int):
+        errors.append("seed: expected int")
+    if not isinstance(doc.get("quick"), bool):
+        errors.append("quick: expected bool")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        errors.append("workloads: expected non-empty object")
+        workloads = {}
+    for name, entry in sorted(workloads.items()):
+        where = f"workloads.{name}"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: expected object")
+            continue
+        _check_pair(errors, f"{where}.wall_seconds",
+                    entry.get("wall_seconds"), float)
+        _check_pair(errors, f"{where}.dijkstra_runs",
+                    entry.get("dijkstra_runs"), int)
+        _check_pair(errors, f"{where}.spf_runs", entry.get("spf_runs"), int)
+        for cache_key, fields in (("path_cache", ("hits", "misses",
+                                                  "invalidations")),
+                                  ("spf_cache", ("hits",))):
+            cache = entry.get(cache_key)
+            if not isinstance(cache, dict):
+                errors.append(f"{where}.{cache_key}: expected object")
+                continue
+            for field_name in fields:
+                if not isinstance(cache.get(field_name), int):
+                    errors.append(
+                        f"{where}.{cache_key}.{field_name}: expected int")
+            hit_rate = cache.get("hit_rate")
+            if (not isinstance(hit_rate, (int, float))
+                    or isinstance(hit_rate, bool)
+                    or not 0.0 <= float(hit_rate) <= 1.0):
+                errors.append(
+                    f"{where}.{cache_key}.hit_rate: expected number in [0, 1]")
+        if not isinstance(entry.get("identical_metrics"), bool):
+            errors.append(f"{where}.identical_metrics: expected bool")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("totals: expected object")
+    else:
+        _check_pair(errors, "totals.dijkstra_runs",
+                    totals.get("dijkstra_runs"), int)
+        _check_pair(errors, "totals.wall_seconds",
+                    totals.get("wall_seconds"), float)
+        if not isinstance(totals.get("identical_metrics"), bool):
+            errors.append("totals.identical_metrics: expected bool")
+    return errors
+
+
+def write_bench(doc: Dict[str, object],
+                path: str = DEFAULT_BENCH_PATH) -> str:
+    """Write the document as stable, sorted-key JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -28,6 +28,7 @@ from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.node import FibEntry, RouteSource
 from repro.net.simulator import EventScheduler
+from repro.perf.cache import caching_enabled
 from repro.routing.igp import ANYCAST_STUB_COST, IgpProtocol
 
 
@@ -57,6 +58,12 @@ class LinkStateRouting(IgpProtocol):
         #: Per-router link-state database: viewpoint -> origin -> LSA.
         self._lsdb: Dict[str, Dict[str, Lsa]] = {rid: {} for rid in domain.routers}
         self._seq: Dict[str, int] = {rid: 0 for rid in domain.routers}
+        #: Per-viewpoint LSDB generation: bumped on every stored LSA, so
+        #: an unchanged generation proves the SPF input is unchanged.
+        self._lsdb_gen: Dict[str, int] = {rid: 0 for rid in domain.routers}
+        #: viewpoint -> (generation, SPF result); see :meth:`_spf`.
+        self._spf_cache: Dict[str, Tuple[int, Dict[str, Tuple[float, Optional[str]]]]] = {}
+        self.spf_cache_enabled = caching_enabled()
 
     # -- origination and flooding ---------------------------------------------
     def _build_lsa(self, router_id: str) -> Lsa:
@@ -70,10 +77,15 @@ class LinkStateRouting(IgpProtocol):
     def _originate(self, router_id: str) -> None:
         self._seq[router_id] += 1
         lsa = self._build_lsa(router_id)
-        self._lsdb[router_id][router_id] = lsa
+        self._store_lsa(router_id, lsa)
         if self.obs.enabled:
             self.obs.counter("igp.ls.lsa_originations").inc()
         self._flood(router_id, lsa, exclude=None)
+
+    def _store_lsa(self, viewpoint: str, lsa: Lsa) -> None:
+        """Store *lsa* in *viewpoint*'s LSDB, bumping its generation."""
+        self._lsdb[viewpoint][lsa.origin] = lsa
+        self._lsdb_gen[viewpoint] = self._lsdb_gen.get(viewpoint, 0) + 1
 
     def _flood(self, from_router: str, lsa: Lsa, exclude: Optional[str]) -> None:
         obs_enabled = self.obs.enabled
@@ -95,7 +107,7 @@ class LinkStateRouting(IgpProtocol):
         current = self._lsdb[router_id].get(lsa.origin)
         if current is not None and current.seq >= lsa.seq:
             return
-        self._lsdb[router_id][lsa.origin] = lsa
+        self._store_lsa(router_id, lsa)
         self._flood(router_id, lsa, exclude=sender)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -155,9 +167,22 @@ class LinkStateRouting(IgpProtocol):
 
         An edge is used only if both endpoints advertise it
         (bidirectionality check, as in OSPF).
+
+        Results are memoized against the viewpoint's LSDB generation:
+        until that router's database actually changes, repeated calls
+        (``install_routes``, ``igp_distance``) reuse the same tree.
+        Callers treat the returned mapping as read-only.
         """
+        generation = self._lsdb_gen.get(router_id, 0)
+        if self.spf_cache_enabled:
+            cached = self._spf_cache.get(router_id)
+            if cached is not None and cached[0] == generation:
+                if self.obs.enabled:
+                    self.obs.counter("igp.ls.spf_cache_hits").inc()
+                return cached[1]
         if self.obs.enabled:
             self.obs.counter("igp.ls.spf_runs").inc()
+            self.obs.counter("perf.dijkstra_runs").inc()
         lsdb = self._lsdb[router_id]
         adjacency: Dict[str, List[Tuple[str, float]]] = {}
         for origin, lsa in lsdb.items():
@@ -168,6 +193,8 @@ class LinkStateRouting(IgpProtocol):
                 if not any(nid == origin for nid, _ in back.neighbors):
                     continue
                 adjacency.setdefault(origin, []).append((neighbor_id, cost))
+        for edges in adjacency.values():
+            edges.sort()  # once per SPF, not once per heap pop
         dist: Dict[str, Tuple[float, Optional[str]]] = {router_id: (0.0, None)}
         heap: List[Tuple[float, str, Optional[str]]] = [(0.0, router_id, None)]
         settled: Set[str] = set()
@@ -177,12 +204,15 @@ class LinkStateRouting(IgpProtocol):
                 continue
             settled.add(u)
             dist[u] = (d, first)
-            for v, cost in sorted(adjacency.get(u, [])):
+            for v, cost in adjacency.get(u, ()):
                 if v in settled:
                     continue
                 hop = v if first is None else first
                 heapq.heappush(heap, (d + cost, v, hop))
-        return {node: info for node, info in dist.items() if node in settled}
+        result = {node: info for node, info in dist.items() if node in settled}
+        if self.spf_cache_enabled:
+            self._spf_cache[router_id] = (generation, result)
+        return result
 
     def install_routes(self) -> None:
         for router_id in sorted(self.domain.routers):

@@ -35,7 +35,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.address import Prefix
 from repro.net.errors import ConvergenceError, RoutingError
-from repro.vnbone.routing import OwnerEntry
+from repro.obs import get_obs
+from repro.perf.cache import caching_enabled
+from repro.vnbone.routing import (AdjacencySignature, OwnerEntry,
+                                  adjacency_signature)
 from repro.vnbone.state import VnAction, VnFibEntry, VnRouterState
 from repro.vnbone.topology import VnTunnel
 
@@ -111,15 +114,31 @@ class LayeredVnRouting:
     def __init__(self, network, version: int) -> None:
         self.network = network
         self.version = version
+        self.obs = get_obs()
         self._intra_dist: Dict[str, Dict[str, float]] = {}
         self._intra_hop: Dict[str, Dict[str, str]] = {}
         self._solver: Optional[BgpVnSolver] = None
         self._domain_of: Dict[str, int] = {}
+        #: asn -> (signature, per-member dists, per-member first hops);
+        #: unchanged intra tunnel graphs reuse their SPF sweep verbatim.
+        self._intra_cache: Dict[int, Tuple[AdjacencySignature,
+                                           Dict[str, Dict[str, float]],
+                                           Dict[str, Dict[str, str]]]] = {}
+        self.spf_cache_enabled = caching_enabled()
 
     # -- intra-domain SPF --------------------------------------------------------
     def _intra_spf(self, members: Set[str],
-                   adjacency: Dict[str, Dict[str, float]]) -> None:
+                   adjacency: Dict[str, Dict[str, float]]
+                   ) -> Tuple[Dict[str, Dict[str, float]],
+                              Dict[str, Dict[str, str]]]:
+        dists: Dict[str, Dict[str, float]] = {}
+        hops: Dict[str, Dict[str, str]] = {}
+        # Edge lists sorted once per sweep, not once per heap pop.
+        sorted_adjacency = {member: sorted(edges.items())
+                            for member, edges in adjacency.items()}
         for source in sorted(members):
+            if self.obs.enabled:
+                self.obs.counter("perf.dijkstra_runs").inc()
             dist: Dict[str, float] = {source: 0.0}
             first: Dict[str, str] = {}
             heap: List[Tuple[float, str, Optional[str]]] = [(0.0, source, None)]
@@ -132,12 +151,13 @@ class LayeredVnRouting:
                 dist[u] = d
                 if hop is not None:
                     first[u] = hop
-                for v, cost in sorted(adjacency.get(u, {}).items()):
+                for v, cost in sorted_adjacency.get(u, ()):
                     if v in settled:
                         continue
                     heapq.heappush(heap, (d + cost, v, v if hop is None else hop))
-            self._intra_dist[source] = {n: dist[n] for n in sorted(settled)}
-            self._intra_hop[source] = first
+            dists[source] = {n: dist[n] for n in sorted(settled)}
+            hops[source] = first
+        return dists, hops
 
     # -- the full computation ---------------------------------------------------------
     def compute(self, states: Dict[str, VnRouterState],
@@ -172,7 +192,19 @@ class LayeredVnRouting:
         self._intra_dist.clear()
         self._intra_hop.clear()
         for asn, members in members_by_domain.items():
-            self._intra_spf(members, intra_adj[asn])
+            signature = adjacency_signature(intra_adj[asn])
+            cached = (self._intra_cache.get(asn)
+                      if self.spf_cache_enabled else None)
+            if cached is not None and cached[0] == signature:
+                _, dists, hops = cached
+                if self.obs.enabled:
+                    self.obs.counter("vnbone.spf_cache_hits").inc()
+            else:
+                dists, hops = self._intra_spf(members, intra_adj[asn])
+                if self.spf_cache_enabled:
+                    self._intra_cache[asn] = (signature, dists, hops)
+            self._intra_dist.update(dists)
+            self._intra_hop.update(hops)
         # BGPvN: originations from owner entries, grouped by owner domain.
         adjacency: Dict[int, Set[int]] = {asn: set() for asn in members_by_domain}
         for (a, b) in sessions:

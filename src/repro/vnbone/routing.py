@@ -37,7 +37,20 @@ from repro.net.forwarding import (VnDecision, VnDeliver, VnDrop, VnEgress,
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import Packet, VNHeader
+from repro.obs import get_obs
+from repro.perf.cache import caching_enabled
 from repro.vnbone.state import VnAction, VnFibEntry, VnRouterState
+
+#: A canonical, hashable rendering of a tunnel-graph adjacency —
+#: member -> sorted (neighbor, cost) edges.  Equal signatures mean the
+#: SPF input is unchanged, so prior results can be reused verbatim.
+AdjacencySignature = Tuple[Tuple[str, Tuple[Tuple[str, float], ...]], ...]
+
+
+def adjacency_signature(
+        adjacency: Dict[str, Dict[str, float]]) -> AdjacencySignature:
+    return tuple((member, tuple(sorted(adjacency[member].items())))
+                 for member in sorted(adjacency))
 
 
 @dataclass(frozen=True)
@@ -58,11 +71,18 @@ class VnRouting:
     def __init__(self, network: Network, version: int) -> None:
         self.network = network
         self.version = version
+        self.obs = get_obs()
         self._dist: Dict[str, Dict[str, float]] = {}
         self._first_hop: Dict[str, Dict[str, str]] = {}
+        #: Tunnel-graph signature the current SPF results were built from.
+        self._signature: Optional[AdjacencySignature] = None
+        self.spf_cache_enabled = caching_enabled()
 
     # -- SPF over the tunnel graph ------------------------------------------------
-    def _spf(self, source: str, adjacency: Dict[str, Dict[str, float]]) -> None:
+    def _spf(self, source: str,
+             adjacency: Dict[str, List[Tuple[str, float]]]) -> None:
+        if self.obs.enabled:
+            self.obs.counter("perf.dijkstra_runs").inc()
         dist: Dict[str, float] = {source: 0.0}
         first: Dict[str, str] = {}
         heap: List[Tuple[float, str, Optional[str]]] = [(0.0, source, None)]
@@ -75,7 +95,7 @@ class VnRouting:
             dist[u] = d
             if hop is not None:
                 first[u] = hop
-            for v, cost in sorted(adjacency.get(u, {}).items()):
+            for v, cost in adjacency.get(u, ()):
                 if v in settled:
                     continue
                 next_hop = v if hop is None else hop
@@ -85,7 +105,14 @@ class VnRouting:
 
     def compute(self, states: Dict[str, VnRouterState],
                 owner_entries: List[OwnerEntry]) -> None:
-        """Run SPF for every member and install all IPvN FIBs."""
+        """Run SPF for every member and install all IPvN FIBs.
+
+        The per-member SPF sweep is skipped entirely when the tunnel
+        graph is unchanged since the last ``compute`` (same members,
+        same edges, same costs) — rebuilds triggered by ownership or
+        advertisement changes reuse the previous distances.  FIB
+        installation always runs.
+        """
         adjacency: Dict[str, Dict[str, float]] = {m: {} for m in states}
         for member, state in states.items():
             for neighbor, cost in state.neighbors.items():
@@ -94,10 +121,19 @@ class VnRouting:
                 adjacency[member][neighbor] = min(
                     cost, adjacency[member].get(neighbor, float("inf")))
                 adjacency[neighbor][member] = adjacency[member][neighbor]
-        self._dist.clear()
-        self._first_hop.clear()
-        for member in sorted(states):
-            self._spf(member, adjacency)
+        signature = adjacency_signature(adjacency)
+        if self.spf_cache_enabled and signature == self._signature:
+            if self.obs.enabled:
+                self.obs.counter("vnbone.spf_cache_hits").inc()
+        else:
+            # Edge lists sorted once here, not once per heap pop.
+            sorted_adjacency = {member: sorted(edges.items())
+                                for member, edges in adjacency.items()}
+            self._dist.clear()
+            self._first_hop.clear()
+            for member in sorted(states):
+                self._spf(member, sorted_adjacency)
+            self._signature = signature if self.spf_cache_enabled else None
         by_prefix: Dict[Prefix, List[OwnerEntry]] = {}
         for entry in owner_entries:
             by_prefix.setdefault(entry.prefix, []).append(entry)

@@ -34,6 +34,7 @@ from repro.net.errors import DeploymentError
 from repro.net.link import LinkScope
 from repro.net.network import Network
 from repro.core.orchestrator import Orchestrator
+from repro.perf.cache import caching_enabled
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,9 @@ class VnBoneTopology:
         self.anchor_asn = anchor_asn
         self._global_dist_cache: Dict[str, Dict[str, float]] = {}
         self._intra_dist_cache: Dict[str, Dict[str, float]] = {}
+        #: Topology version the dist caches were computed against.
+        self._cache_version = self.network.topology_version
+        self.dist_cache_enabled = caching_enabled()
 
     # -- distance helpers -----------------------------------------------------
     def _intra_dists(self, member: str, asn: int) -> Dict[str, float]:
@@ -110,8 +114,18 @@ class VnBoneTopology:
         return cached
 
     def invalidate_caches(self) -> None:
+        """Unconditionally drop the memoized distance maps."""
         self._global_dist_cache.clear()
         self._intra_dist_cache.clear()
+        self._cache_version = self.network.topology_version
+
+    def _refresh_caches(self) -> None:
+        """Drop the distance maps only if the topology actually changed
+        since they were computed (the version-aware variant used by
+        :meth:`build`)."""
+        if (not self.dist_cache_enabled
+                or self._cache_version != self.network.topology_version):
+            self.invalidate_caches()
 
     def member_distance(self, member: str, target_id: str,
                         asn: int) -> Optional[float]:
@@ -123,7 +137,7 @@ class VnBoneTopology:
               join_order: Dict[str, int]) -> List[VnTunnel]:
         """Construct all tunnels.  ``join_order`` records deployment order
         (used by the anycast-bootstrap paths)."""
-        self.invalidate_caches()
+        self._refresh_caches()
         tunnels: List[VnTunnel] = []
         for asn in sorted(members_by_domain):
             tunnels.extend(self._build_intra(asn, members_by_domain[asn], join_order))

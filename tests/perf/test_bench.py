@@ -1,0 +1,56 @@
+"""Bench harness: schema validity, savings, and the validator itself."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (BENCH_SCHEMA, WORKLOADS, run_bench,
+                              validate_bench_dict, write_bench)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_bench(seed=11, quick=True)
+
+
+def test_quick_bench_is_schema_valid(quick_doc):
+    assert validate_bench_dict(quick_doc) == []
+    assert quick_doc["schema"] == BENCH_SCHEMA
+    assert list(quick_doc["workloads"]) == [name for name, _ in WORKLOADS]
+
+
+def test_quick_bench_shows_savings_and_identical_metrics(quick_doc):
+    totals = quick_doc["totals"]
+    assert totals["identical_metrics"] is True
+    assert totals["dijkstra_runs"]["cached"] < \
+        totals["dijkstra_runs"]["uncached"]
+    for entry in quick_doc["workloads"].values():
+        assert entry["identical_metrics"] is True
+        assert 0.0 <= entry["path_cache"]["hit_rate"] <= 1.0
+
+
+def test_write_bench_round_trips(quick_doc, tmp_path):
+    path = tmp_path / "bench.json"
+    write_bench(quick_doc, str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_bench_dict(loaded) == []
+    assert loaded["totals"] == json.loads(
+        json.dumps(quick_doc["totals"]))
+
+
+def test_validator_rejects_malformed_documents(quick_doc):
+    assert validate_bench_dict(None)
+    assert validate_bench_dict({}) != []
+
+    wrong_schema = copy.deepcopy(quick_doc)
+    wrong_schema["schema"] = "repro.bench/v0"
+    assert any("schema" in e for e in validate_bench_dict(wrong_schema))
+
+    missing_totals = copy.deepcopy(quick_doc)
+    del missing_totals["totals"]
+    assert validate_bench_dict(missing_totals) != []
+
+    bad_counter = copy.deepcopy(quick_doc)
+    bad_counter["workloads"]["converge"]["dijkstra_runs"]["cached"] = "many"
+    assert validate_bench_dict(bad_counter) != []

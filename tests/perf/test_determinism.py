@@ -1,0 +1,45 @@
+"""Cached == uncached: the perf layer must never change an answer.
+
+Every bench workload is run twice on the same seed — once with every
+cache enabled and once with caching globally off — and the canonical
+JSON payloads must be bit-identical.  This is the end-to-end
+determinism bar for the whole PR: topology-versioned path cache,
+LSDB-generation SPF cache and vN-Bone signature cache all sit under
+these workloads.
+"""
+
+import pytest
+
+from repro.perf.bench import WORKLOADS, run_leg
+
+WORKLOAD_IDS = [name for name, _ in WORKLOADS]
+
+
+@pytest.mark.parametrize("name,workload", WORKLOADS, ids=WORKLOAD_IDS)
+def test_cached_leg_matches_uncached_leg(name, workload):
+    cached = run_leg(workload, seed=7, quick=True, cached=True)
+    uncached = run_leg(workload, seed=7, quick=True, cached=False)
+    assert cached.payload == uncached.payload
+    # Caching may only remove Dijkstra work, never add it.
+    assert cached.counter("perf.dijkstra_runs") <= \
+        uncached.counter("perf.dijkstra_runs")
+    # The uncached leg must not touch any cache.
+    assert uncached.counter("perf.path_cache.hits") == 0
+    assert uncached.counter("igp.ls.spf_cache_hits") == 0
+
+
+def test_fault_epoch_exercises_cache_invalidation():
+    from repro.perf.bench import workload_fault_epoch
+    leg = run_leg(workload_fault_epoch, seed=7, quick=True, cached=True)
+    # Crash + recovery moved the topology version, so the path cache
+    # must have been flushed at least twice while still being used.
+    assert leg.counter("perf.path_cache.invalidations") >= 2
+    assert leg.counter("perf.path_cache.hits") > 0
+
+
+def test_same_seed_same_leg_is_reproducible():
+    from repro.perf.bench import workload_reachability_sweep
+    a = run_leg(workload_reachability_sweep, seed=3, quick=True, cached=True)
+    b = run_leg(workload_reachability_sweep, seed=3, quick=True, cached=True)
+    assert a.payload == b.payload
+    assert a.counter("perf.dijkstra_runs") == b.counter("perf.dijkstra_runs")

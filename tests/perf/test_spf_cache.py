@@ -1,0 +1,80 @@
+"""LSDB-generation SPF cache: reuse across queries, precise invalidation.
+
+``LinkStateRouting`` memoises each router's SPF result against its LSDB
+generation counter.  A converged domain must answer ``igp_distance``
+queries without re-running Dijkstra, and an event inside one domain
+must not disturb the cached state of another ("exactly the affected
+entries").
+"""
+
+from repro.core.orchestrator import Orchestrator
+from repro.obs import Observability, observing
+
+from tests.conftest import build_two_domain_network
+
+
+def converged(seed=1):
+    obs = Observability()
+    with observing(obs):
+        net = build_two_domain_network()
+        orch = Orchestrator(net, seed=seed)
+        orch.converge()
+    return net, orch, obs
+
+
+def counters(obs):
+    return dict(obs.metrics_summary()["counters"])
+
+
+def test_repeated_queries_hit_the_spf_cache():
+    net, orch, obs = converged()
+    igp1 = orch.igp(1)
+    before = counters(obs)
+    d1 = igp1.igp_distance("r1a", "r1b")
+    d2 = igp1.igp_distance("r1a", "r1b")
+    after = counters(obs)
+    assert d1 == d2 == 1.0
+    # install_routes already ran SPF for every router; queries reuse it.
+    assert after["igp.ls.spf_runs"] == before["igp.ls.spf_runs"]
+    assert after.get("igp.ls.spf_cache_hits", 0) >= \
+        before.get("igp.ls.spf_cache_hits", 0) + 2
+
+
+def test_link_event_invalidates_only_the_affected_domain():
+    net, orch, obs = converged()
+    igp1, igp2 = orch.igp(1), orch.igp(2)
+    gens1_before = dict(igp1._lsdb_gen)
+    gens2_before = dict(igp2._lsdb_gen)
+
+    link = net.link_between("r1a", "r1b")
+    link.fail()
+    orch.notify_link_change(link)
+    orch.reconverge()
+
+    # The event re-originated LSAs inside AS1 ...
+    assert igp1._lsdb_gen != gens1_before
+    # ... but AS2's LSDBs — and therefore its SPF cache keys — did not move.
+    assert igp2._lsdb_gen == gens2_before
+
+    before = counters(obs)
+    assert igp2.igp_distance("r2a", "r2b") == 1.0
+    after = counters(obs)
+    assert after["igp.ls.spf_runs"] == before["igp.ls.spf_runs"]
+    assert after.get("igp.ls.spf_cache_hits", 0) > \
+        before.get("igp.ls.spf_cache_hits", 0)
+
+
+def test_recomputed_distances_reflect_the_new_topology():
+    net, orch, obs = converged()
+    igp1 = orch.igp(1)
+    assert igp1.igp_distance("r1a", "r1b") == 1.0
+    link = net.link_between("r1a", "r1b")
+    link.fail()
+    orch.notify_link_change(link)
+    orch.reconverge()
+    # r1a and r1b are now partitioned inside AS1.
+    assert igp1.igp_distance("r1a", "r1b") is None
+    link.restore()
+    orch.notify_link_change(link)
+    orch.reconverge()
+    assert igp1.igp_distance("r1a", "r1b") == 1.0

@@ -1,0 +1,31 @@
+"""ForwardingTrace.faulted is a sticky flag set at record() time."""
+
+from repro.net import Outcome
+from repro.net.forwarding import ForwardingTrace
+
+from tests.conftest import build_two_domain_network
+
+
+def test_faulted_set_by_record_and_sticky():
+    net = build_two_domain_network()
+    trace = ForwardingTrace()
+    trace.record(net.node("h1"), "send")
+    assert not trace.faulted
+    trace.record(net.node("r1a"), "forward", faulted=True)
+    assert trace.faulted
+    trace.record(net.node("r1b"), "forward")  # later clean hop: still faulted
+    assert trace.faulted
+
+
+def test_fault_dropped_outcome_implies_faulted():
+    trace = ForwardingTrace()
+    trace.outcome = Outcome.FAULT_DROPPED
+    assert trace.faulted
+
+
+def test_clean_trace_is_not_faulted():
+    net = build_two_domain_network()
+    trace = ForwardingTrace()
+    trace.record(net.node("h1"), "send")
+    trace.record(net.node("r1a"), "forward")
+    assert not trace.faulted
