@@ -1,0 +1,37 @@
+"""repro.analyze: the offline trace-analysis toolkit.
+
+Consumes the JSONL traces :mod:`repro.obs` writes (schema
+``repro.trace/v2`` with causal spans — see ``docs/tracing.md``) and
+turns them into reports:
+
+* **critical path** per fault epoch — sim-time from ``fault.apply`` to
+  the first recovered delivery, broken down into IGP hold-down, LSA
+  flood + SPF, BGP resync, and vN-Bone rebuild phases;
+* **per-packet distributions** — path stretch and encapsulation
+  overhead, streamed with Welford aggregation;
+* **blackhole / loop detection** from forwarding spans alone;
+* **convergence timeline** from the sampler's ``metric.sample`` events.
+
+Everything is streaming: a trace is read line by line
+(:func:`iter_trace_events`), high-volume ``forward`` spans are
+aggregated rather than stored, and only the bounded structural spans
+(epochs, convergence episodes, hold-down timers) are kept in memory —
+so ROADMAP-scale traces (millions of events) analyze in bounded space.
+
+The result is a schema-validated ``repro.report/v1`` document
+(:func:`build_report` / :func:`validate_report_dict`) or a set of human
+tables (:func:`render_report`), both exposed via
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.reader import (SpanForest, SpanNode, build_span_forest,
+                                  iter_trace_events)
+from repro.analyze.render import render_report
+from repro.analyze.report import REPORT_SCHEMA, build_report
+from repro.analyze.schema import validate_report_dict
+
+__all__ = ["REPORT_SCHEMA", "SpanForest", "SpanNode", "build_report",
+           "build_span_forest", "iter_trace_events", "render_report",
+           "validate_report_dict"]

@@ -1,0 +1,197 @@
+"""Human-readable rendering of ``repro.report/v1`` documents.
+
+:func:`render_report` turns the JSON document :func:`~repro.analyze.report.build_report`
+produces into the fixed-width tables ``python -m repro report`` prints:
+run header, span inventory, per-epoch critical path, forwarding
+outcomes and distributions, blackhole/loop detectors, path-stretch, and
+the convergence timeline.  Pure formatting — every number is read from
+the document, never recomputed, so the tables and ``--json`` output can
+never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def _fmt(value: object, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _counts_line(table: object) -> str:
+    if not isinstance(table, Mapping) or not table:
+        return "(none)"
+    return "  ".join(f"{key}={value}" for key, value in
+                     sorted(table.items(), key=lambda kv: str(kv[0])))
+
+
+def _dist_row(name: str, dist: object) -> str:
+    if not isinstance(dist, Mapping):
+        return f"  {name:>16} (missing)"
+    return (f"  {name:>16} {_fmt(dist.get('count')):>7} "
+            f"{_fmt(dist.get('min')):>8} {_fmt(dist.get('mean')):>8} "
+            f"{_fmt(dist.get('stddev')):>8} {_fmt(dist.get('max')):>8}")
+
+
+def _section(title: str) -> List[str]:
+    return ["", title, "-" * len(title)]
+
+
+def _render_run(doc: Mapping[str, object]) -> List[str]:
+    run = doc.get("run")
+    lines = [f"trace report  [{_fmt(doc.get('schema'))}]"]
+    if not isinstance(run, Mapping):
+        return lines
+    context = run.get("context")
+    if isinstance(context, Mapping) and context:
+        pairs = "  ".join(f"{key}={_fmt(value)}" for key, value in
+                          sorted(context.items(), key=lambda kv: str(kv[0])))
+        lines.append(f"run: {pairs}")
+    lines.append(f"events: {_fmt(run.get('events'))}  "
+                 f"trace schema: {_fmt(run.get('trace_schema'))}  "
+                 f"complete: {_fmt(run.get('complete'))}")
+    return lines
+
+
+def _render_spans(doc: Mapping[str, object]) -> List[str]:
+    spans = doc.get("spans")
+    if not isinstance(spans, Mapping):
+        return []
+    lines = _section("spans (structural)")
+    lines.append(f"total {_fmt(spans.get('structural'))}, "
+                 f"unclosed {_fmt(spans.get('unclosed'))}")
+    by_name = spans.get("by_name")
+    if isinstance(by_name, Mapping) and by_name:
+        lines.append(_counts_line(by_name))
+    return lines
+
+
+def _render_epochs(doc: Mapping[str, object]) -> List[str]:
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, Sequence) or isinstance(epochs, str):
+        return []
+    lines = _section("fault epochs: critical path "
+                     "(fault.apply -> first recovered delivery)")
+    if not epochs:
+        lines.append("(no fault epochs in this trace)")
+        return lines
+    lines.append(f"  {'epoch':>5} {'t0':>7} {'holddown':>9} "
+                 f"{'flood+spf':>10} {'bgp':>7} {'rebuild':>8} "
+                 f"{'other':>7} {'total':>7}")
+    for entry in epochs:
+        if not isinstance(entry, Mapping):
+            continue
+        path = entry.get("critical_path")
+        path = path if isinstance(path, Mapping) else {}
+        lines.append(
+            f"  {_fmt(entry.get('epoch')):>5} {_fmt(entry.get('t0')):>7} "
+            f"{_fmt(path.get('igp_holddown')):>9} "
+            f"{_fmt(path.get('igp_flood_spf')):>10} "
+            f"{_fmt(path.get('bgp_resync')):>7} "
+            f"{_fmt(path.get('vnbone_rebuild')):>8} "
+            f"{_fmt(path.get('other')):>7} {_fmt(path.get('total')):>7}")
+    for entry in epochs:
+        if not isinstance(entry, Mapping):
+            continue
+        for side in ("transient", "recovered"):
+            report = entry.get(side)
+            if isinstance(report, Mapping):
+                lines.append(
+                    f"  epoch {_fmt(entry.get('epoch'))} {side:>9}: "
+                    f"{_fmt(report.get('delivered'))}/"
+                    f"{_fmt(report.get('attempted'))} delivered "
+                    f"({_counts_line(report.get('outcomes'))})")
+    return lines
+
+
+def _render_forwarding(doc: Mapping[str, object]) -> List[str]:
+    forwarding = doc.get("forwarding")
+    if not isinstance(forwarding, Mapping):
+        return []
+    lines = _section("forwarding")
+    lines.append(f"packets: {_fmt(forwarding.get('packets'))}  "
+                 f"outcomes: {_counts_line(forwarding.get('outcomes'))}")
+    dists = forwarding.get("distributions")
+    if isinstance(dists, Mapping) and dists:
+        lines.append(f"  {'metric':>16} {'count':>7} {'min':>8} {'mean':>8} "
+                     f"{'stddev':>8} {'max':>8}")
+        for name in sorted(dists, key=str):
+            lines.append(_dist_row(str(name), dists[name]))
+    for title, key in (("blackholes", "blackholes"), ("loops", "loops")):
+        table = forwarding.get(key)
+        if not isinstance(table, Mapping):
+            continue
+        lines.append(f"{title}: {_fmt(table.get('count'))} "
+                     f"({_counts_line(table.get('by_outcome'))})")
+        examples = table.get("examples")
+        if isinstance(examples, Sequence) and not isinstance(examples, str):
+            for example in examples:
+                if isinstance(example, Mapping):
+                    reason = example.get("drop_reason")
+                    lines.append(f"    t={_fmt(example.get('t'))} "
+                                 f"{_fmt(example.get('outcome'))}"
+                                 + (f": {reason}" if reason else ""))
+    return lines
+
+
+def _render_probes(doc: Mapping[str, object]) -> List[str]:
+    probes = doc.get("probes")
+    if not isinstance(probes, Mapping):
+        return []
+    lines = _section("reachability probes")
+    lines.append(f"probes: {_fmt(probes.get('count'))}  "
+                 f"outcomes: {_counts_line(probes.get('outcomes'))}")
+    lines.append(f"  {'metric':>16} {'count':>7} {'min':>8} {'mean':>8} "
+                 f"{'stddev':>8} {'max':>8}")
+    lines.append(_dist_row("path stretch", probes.get("stretch")))
+    lines.append(_dist_row("encapsulations", probes.get("encapsulations")))
+    return lines
+
+
+def _render_timeline(doc: Mapping[str, object],
+                     max_rows: Optional[int]) -> List[str]:
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, Sequence) or isinstance(timeline, str):
+        return []
+    lines = _section("convergence timeline (metric.sample)")
+    if not timeline:
+        lines.append("(no sampler attached)")
+        return lines
+    shown = timeline if max_rows is None else timeline[:max_rows]
+    for entry in shown:
+        if not isinstance(entry, Mapping):
+            continue
+        counters = entry.get("counters")
+        gauges = entry.get("gauges")
+        parts = [f"t={_fmt(entry.get('t')):>6}"]
+        if isinstance(counters, Mapping) and counters:
+            parts.append(_counts_line(counters))
+        if isinstance(gauges, Mapping) and gauges:
+            parts.append(_counts_line(gauges))
+        lines.append("  " + "  |  ".join(parts))
+    if max_rows is not None and len(timeline) > max_rows:
+        lines.append(f"  ... {len(timeline) - max_rows} more samples "
+                     "(use --json for the full timeline)")
+    return lines
+
+
+def render_report(doc: Mapping[str, object],
+                  max_timeline_rows: Optional[int] = 20) -> str:
+    """Render a report document as fixed-width human tables."""
+    lines: List[str] = []
+    lines.extend(_render_run(doc))
+    lines.extend(_render_spans(doc))
+    lines.extend(_render_epochs(doc))
+    lines.extend(_render_forwarding(doc))
+    lines.extend(_render_probes(doc))
+    lines.extend(_render_timeline(doc, max_timeline_rows))
+    return "\n".join(lines)
+
+
+__all__ = ["render_report"]

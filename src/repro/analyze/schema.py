@@ -1,0 +1,172 @@
+"""Validation of ``repro.report/v1`` documents.
+
+Hand-rolled structural checks (this repo takes no third-party schema
+dependency): :func:`validate_report_dict` walks a parsed report and
+returns human-readable problems, empty meaning valid.  The CLI's
+``report --check`` and the CI report-smoke job gate on it, so a report
+that drifts from the documented shape fails loudly instead of silently
+feeding downstream tooling garbage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.analyze.report import REPORT_SCHEMA
+
+#: Required keys of a distribution summary (see ``_Dist.summary``).
+_DIST_KEYS = ("count", "min", "max", "mean", "stddev")
+
+#: Required phase keys of an epoch's critical path.
+_PHASE_KEYS = ("igp_holddown", "igp_flood_spf", "bgp_resync",
+               "vnbone_rebuild", "other", "total")
+
+#: Phases that must always be concrete numbers (``other``/``total`` may
+#: be null when no recovered delivery exists to anchor them).
+_REQUIRED_PHASES = ("igp_holddown", "igp_flood_spf", "bgp_resync",
+                    "vnbone_rebuild")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _require_mapping(doc: Mapping[str, object], key: str, where: str,
+                     errors: List[str]) -> Optional[Mapping[str, object]]:
+    value = doc.get(key)
+    if not isinstance(value, Mapping):
+        errors.append(f"{where}: missing or non-object {key!r}")
+        return None
+    return value
+
+
+def _require_counts(table: object, where: str, errors: List[str]) -> None:
+    if not isinstance(table, Mapping):
+        errors.append(f"{where}: missing or non-object outcome table")
+        return
+    for key, value in table.items():
+        if not isinstance(key, str) or not isinstance(value, int) \
+                or isinstance(value, bool):
+            errors.append(f"{where}: entry {key!r} is not str -> int")
+
+
+def _check_dist(dist: object, where: str, errors: List[str]) -> None:
+    if not isinstance(dist, Mapping):
+        errors.append(f"{where}: not a distribution object")
+        return
+    for key in _DIST_KEYS:
+        if not _is_number(dist.get(key)):
+            errors.append(f"{where}: missing or non-numeric {key!r}")
+
+
+def _check_drop_table(table: object, where: str, errors: List[str]) -> None:
+    if not isinstance(table, Mapping):
+        errors.append(f"{where}: missing or non-object")
+        return
+    if not _is_number(table.get("count")):
+        errors.append(f"{where}: missing or non-numeric 'count'")
+    _require_counts(table.get("by_outcome"), f"{where}.by_outcome", errors)
+    examples = table.get("examples")
+    if not isinstance(examples, Sequence) or isinstance(examples, str):
+        errors.append(f"{where}: 'examples' is not a list")
+
+
+def _check_epoch(entry: object, where: str, errors: List[str]) -> None:
+    if not isinstance(entry, Mapping):
+        errors.append(f"{where}: not an object")
+        return
+    path = entry.get("critical_path")
+    if not isinstance(path, Mapping):
+        errors.append(f"{where}: missing or non-object 'critical_path'")
+    else:
+        for key in _PHASE_KEYS:
+            if key not in path:
+                errors.append(f"{where}.critical_path: missing phase {key!r}")
+            elif key in _REQUIRED_PHASES and not _is_number(path.get(key)):
+                errors.append(f"{where}.critical_path: phase {key!r} is not "
+                              "a number")
+            elif path.get(key) is not None and not _is_number(path.get(key)):
+                errors.append(f"{where}.critical_path: phase {key!r} is "
+                              "neither a number nor null")
+    for side in ("transient", "recovered"):
+        report = entry.get(side)
+        if report is None:
+            continue
+        if not isinstance(report, Mapping):
+            errors.append(f"{where}.{side}: neither an object nor null")
+            continue
+        for key in ("attempted", "delivered"):
+            if not _is_number(report.get(key)):
+                errors.append(f"{where}.{side}: missing or non-numeric "
+                              f"{key!r}")
+        _require_counts(report.get("outcomes"), f"{where}.{side}.outcomes",
+                        errors)
+
+
+def _check_timeline(timeline: object, errors: List[str]) -> None:
+    if not isinstance(timeline, Sequence) or isinstance(timeline, str):
+        errors.append("timeline: not a list")
+        return
+    for n, entry in enumerate(timeline):
+        if not isinstance(entry, Mapping):
+            errors.append(f"timeline[{n}]: not an object")
+            continue
+        if not _is_number(entry.get("t")):
+            errors.append(f"timeline[{n}]: missing or non-numeric 't'")
+        for key in ("counters", "gauges"):
+            if not isinstance(entry.get(key), Mapping):
+                errors.append(f"timeline[{n}]: missing or non-object {key!r}")
+
+
+def validate_report_dict(doc: Mapping[str, object]) -> List[str]:
+    """Validate a parsed report document; returns problems (empty == OK)."""
+    errors: List[str] = []
+    schema = doc.get("schema")
+    if schema != REPORT_SCHEMA:
+        errors.append(f"schema: expected {REPORT_SCHEMA!r}, got {schema!r}")
+    run = _require_mapping(doc, "run", "report", errors)
+    if run is not None:
+        if not isinstance(run.get("context"), Mapping):
+            errors.append("run: missing or non-object 'context'")
+        if not _is_number(run.get("events")):
+            errors.append("run: missing or non-numeric 'events'")
+    spans = _require_mapping(doc, "spans", "report", errors)
+    if spans is not None:
+        for key in ("structural", "unclosed"):
+            if not _is_number(spans.get(key)):
+                errors.append(f"spans: missing or non-numeric {key!r}")
+        _require_counts(spans.get("by_name"), "spans.by_name", errors)
+    forwarding = _require_mapping(doc, "forwarding", "report", errors)
+    if forwarding is not None:
+        if not _is_number(forwarding.get("packets")):
+            errors.append("forwarding: missing or non-numeric 'packets'")
+        _require_counts(forwarding.get("outcomes"), "forwarding.outcomes",
+                        errors)
+        dists = forwarding.get("distributions")
+        if not isinstance(dists, Mapping):
+            errors.append("forwarding: missing or non-object 'distributions'")
+        else:
+            for name, dist in dists.items():
+                _check_dist(dist, f"forwarding.distributions.{name}", errors)
+        _check_drop_table(forwarding.get("blackholes"),
+                          "forwarding.blackholes", errors)
+        _check_drop_table(forwarding.get("loops"), "forwarding.loops", errors)
+    probes = _require_mapping(doc, "probes", "report", errors)
+    if probes is not None:
+        if not _is_number(probes.get("count")):
+            errors.append("probes: missing or non-numeric 'count'")
+        _require_counts(probes.get("outcomes"), "probes.outcomes", errors)
+        _check_dist(probes.get("stretch"), "probes.stretch", errors)
+        _check_dist(probes.get("encapsulations"), "probes.encapsulations",
+                    errors)
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, Sequence) or isinstance(epochs, str):
+        errors.append("epochs: not a list")
+    else:
+        for n, entry in enumerate(epochs):
+            _check_epoch(entry, f"epochs[{n}]", errors)
+    _check_timeline(doc.get("timeline"), errors)
+    return errors
+
+
+__all__ = ["validate_report_dict"]

@@ -266,6 +266,11 @@ class BgpProtocol:
             self.obs.event("bgp.resync_speakers", t=self.scheduler.now,
                            changed=changed,
                            down=sorted(self._down_speakers))
+            # Instant span (the flush itself is synchronous; its message
+            # fallout drains under the enclosing reconvergence span).
+            self.obs.span("bgp.resync", t=self.scheduler.now,
+                          scope="speakers", changed=changed
+                          ).end(t=self.scheduler.now)
         return changed
 
     def resync_sessions(self) -> int:
@@ -303,6 +308,9 @@ class BgpProtocol:
                     flushed_pairs += 1
         if flushed_pairs and self.obs.enabled:
             self.obs.counter("bgp.sessions_flushed").inc(flushed_pairs)
+            self.obs.span("bgp.resync", t=self.scheduler.now,
+                          scope="sessions", flushed=flushed_pairs
+                          ).end(t=self.scheduler.now)
         return flushed_pairs
 
     def _flush_neighbor(self, asn: int, neighbor_asn: int) -> bool:

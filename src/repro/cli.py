@@ -11,6 +11,10 @@ Runs the library's headline experiments from the shell:
 * ``obs`` — run an experiment under the observability layer: structured
   JSONL trace plus a metrics summary (scheduler event counts, SPF
   recomputations, per-outcome forwarding counters, ...);
+* ``report`` — analyze a JSONL trace offline (:mod:`repro.analyze`):
+  per-epoch critical paths, forwarding distributions, blackhole/loop
+  detection, and the convergence timeline, as human tables or a
+  schema-validated ``repro.report/v1`` document;
 * ``lint`` — run the determinism & invariant linter
   (:mod:`repro.analysis`) over the source tree: seeded-RNG, wall-clock,
   iteration-order, obs-guard, and public-API rules (D1–D5);
@@ -252,8 +256,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
         return 0
     if args.self_check:
         return _obs_self_check(args)
+    if args.span_check:
+        return _obs_span_check(args)
     if not args.id:
-        print("obs: give an experiment id, --list, or --self-check")
+        print("obs: give an experiment id, --list, --self-check, or "
+              "--span-check")
         return 2
     params = _parse_params(args.param)
     tracer = None
@@ -281,7 +288,7 @@ def _obs_self_check(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.experiments import run
-    from repro.obs import Observability, Tracer, validate_trace
+    from repro.obs import Observability, Tracer, validate_spans, validate_trace
 
     handle, path = tempfile.mkstemp(prefix="repro-obs-", suffix=".jsonl")
     os.close(handle)
@@ -292,6 +299,7 @@ def _obs_self_check(args: argparse.Namespace) -> int:
         result = run("anycast_failover", seed=args.seed, obs=obs)
         obs.close()
         errors = list(validate_trace(path))
+        errors.extend(validate_spans(path))
         counters = result.metrics.get("counters", {})
         for name in _SELF_CHECK_COUNTERS:
             if not counters.get(name):
@@ -305,6 +313,92 @@ def _obs_self_check(args: argparse.Namespace) -> int:
         return 0 if not errors else 1
     finally:
         os.unlink(path)
+
+
+#: Span kinds the span-check requires in a traced anycast_failover run.
+_SPAN_CHECK_NAMES = ("experiment", "fault.epoch", "fault.apply",
+                     "fault.workload", "fault.reconverge", "igp.holddown",
+                     "vnbone.rebuild", "orchestrator.reconverge", "forward")
+
+
+def _obs_span_check(args: argparse.Namespace) -> int:
+    """Validate the causal-span layer over a seeded run (CI hook).
+
+    Runs the acceptance scenario under a traced handle, then checks the
+    span causality invariants (every ``span.end`` has a matching
+    ``span.start``, parents precede children, no orphan ``parent_id``)
+    and that every expected span kind actually appeared.
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.experiments import run
+    from repro.obs import (Observability, SPAN_START, Tracer, validate_spans,
+                           validate_trace)
+    from repro.analyze import iter_trace_events
+
+    handle, path = tempfile.mkstemp(prefix="repro-spans-", suffix=".jsonl")
+    os.close(handle)
+    try:
+        obs = Observability(tracer=Tracer(path, context={
+            "experiment": "anycast_failover", "seed": args.seed,
+            "span_check": True}))
+        run("anycast_failover", seed=args.seed, obs=obs)
+        obs.close()
+        errors = list(validate_trace(path))
+        errors.extend(validate_spans(path))
+        counts: dict = {}
+        for event in iter_trace_events(path):
+            if event.get("kind") == SPAN_START:
+                name = event.get("name")
+                if isinstance(name, str):
+                    counts[name] = counts.get(name, 0) + 1
+        for name in _SPAN_CHECK_NAMES:
+            if not counts.get(name):
+                errors.append(f"expected span kind {name!r} in the trace")
+        status = {"ok": not errors,
+                  "spans": sum(counts.values()),
+                  "span_kinds": dict(sorted(counts.items()))}
+        if errors:
+            status["errors"] = errors[:10]
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if not errors else 1
+    finally:
+        os.unlink(path)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Analyze a JSONL trace offline (``repro.report/v1``).
+
+    ``--check`` additionally validates the trace schema, the span
+    causality invariants, and the built report document, exiting 1 on
+    any problem — the CI report-smoke gate.
+    """
+    import json
+
+    from repro.analyze import build_report, render_report, validate_report_dict
+    from repro.obs import validate_spans, validate_trace
+
+    errors: List[str] = []
+    if args.check:
+        errors.extend(validate_trace(args.trace))
+        errors.extend(validate_spans(args.trace))
+    doc = build_report(args.trace)
+    if args.check:
+        errors.extend(validate_report_dict(doc))
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_report(doc))
+    if errors:
+        for problem in errors[:20]:
+            print(f"report: {problem}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"report: ... {len(errors) - 20} more problems",
+                  file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -447,7 +541,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list available experiments")
     p_obs.add_argument("--self-check", action="store_true",
                        help="smoke-test the observability pipeline (CI)")
+    p_obs.add_argument("--span-check", action="store_true",
+                       help="validate causal-span invariants over a "
+                            "seeded run (CI)")
     p_obs.set_defaults(func=cmd_obs)
+
+    p_report = sub.add_parser(
+        "report", help="analyze a JSONL trace offline (repro.report/v1)")
+    p_report.add_argument("trace", metavar="TRACE",
+                          help="path to a JSONL trace file")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the repro.report/v1 JSON document")
+    p_report.add_argument("--check", action="store_true",
+                          help="validate trace schema, span invariants, "
+                               "and the report document (exit 1 on any)")
+    p_report.set_defaults(func=cmd_report)
 
     p_lint = sub.add_parser(
         "lint", help="run the determinism & invariant linter (D1-D5)")

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.forwarding import ForwardingTrace, Outcome
 from repro.net.network import Network
+from repro.obs import get_obs
 
 
 def trace_path_cost(network: Network, trace: ForwardingTrace) -> float:
@@ -201,11 +202,29 @@ class FaultEpochReport:
 
 def measure_reachability(network: Network, send, pairs: Iterable[Tuple[str, str]]
                          ) -> ReachabilityReport:
-    """Run *send(src, dst) -> trace* over *pairs* and aggregate."""
+    """Run *send(src, dst) -> trace* over *pairs* and aggregate.
+
+    Under an enabled observability handle, each probe additionally
+    emits a ``reach.probe`` event carrying the per-packet path stretch
+    (trace cost / direct shortest-path cost — an oracle quantity the
+    trace alone cannot reconstruct) plus the hop/encapsulation counts,
+    which is what the offline analyzer's stretch and encapsulation-
+    overhead distributions are built from.
+    """
     report = ReachabilityReport()
+    obs = get_obs()
     for src, dst in pairs:
         trace = send(src, dst)
         report.record(network, trace, src, dst)
+        if obs.enabled:
+            obs.event("reach.probe", src=src, dst=dst,
+                      outcome=trace.outcome.value,
+                      stretch=path_stretch(network, trace, src, dst),
+                      physical_hops=trace.physical_hops,
+                      vn_hops=trace.vn_hops,
+                      encapsulations=trace.encapsulations,
+                      max_depth=trace.max_depth,
+                      faulted=trace.faulted)
     return report
 
 

@@ -50,7 +50,7 @@ class Orchestrator:
         self.scheduler = EventScheduler(seed=seed, obs=self.obs)
         self.policy = policy if policy is not None else BgpPolicy()
         self.bgp = BgpProtocol(network, self.scheduler, policy=self.policy)
-        self.engine = ForwardingEngine(network)
+        self.engine = ForwardingEngine(network, clock=lambda: self.scheduler.now)
         self.igps: Dict[int, IgpProtocol] = {}
         overrides = igp_overrides or {}
         for asn, domain in sorted(network.domains.items()):
@@ -81,17 +81,19 @@ class Orchestrator:
         if observed:
             wall_t0 = time.perf_counter()
         processed = 0
-        for asn in sorted(self.igps):
-            igp = self.igps[asn]
-            if not igp._started:  # noqa: SLF001 - orchestrator owns lifecycle
-                igp.start()
-        processed += self.scheduler.run_until_idle(max_events=max_events)
-        for asn in sorted(self.igps):
-            self.igps[asn].install_routes()
-        self.bgp.start()
-        processed += self.scheduler.run_until_idle(max_events=max_events)
-        self.bgp.install_routes()
-        self._converged = True
+        with self.obs.span("orchestrator.converge", t=self.scheduler.now) as span:
+            for asn in sorted(self.igps):
+                igp = self.igps[asn]
+                if not igp._started:  # noqa: SLF001 - orchestrator owns lifecycle
+                    igp.start()
+            processed += self.scheduler.run_until_idle(max_events=max_events)
+            for asn in sorted(self.igps):
+                self.igps[asn].install_routes()
+            self.bgp.start()
+            processed += self.scheduler.run_until_idle(max_events=max_events)
+            self.bgp.install_routes()
+            self._converged = True
+            span.end(t=self.scheduler.now, events=processed)
         if observed:
             wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.counter("orchestrator.convergences").inc()
@@ -113,14 +115,16 @@ class Orchestrator:
         observed = self.obs.enabled
         if observed:
             wall_t0 = time.perf_counter()
-        for asn in sorted(self.igps):
-            self.igps[asn].refresh()
-        # Tear down crashed speakers and BGP sessions whose physical
-        # links vanished; the flush propagates withdrawals/alternatives.
-        self.bgp.resync_speakers()
-        self.bgp.resync_sessions()
-        processed = self.scheduler.run_until_idle(max_events=max_events)
-        self.install_routes()
+        with self.obs.span("orchestrator.reconverge", t=self.scheduler.now) as span:
+            for asn in sorted(self.igps):
+                self.igps[asn].refresh()
+            # Tear down crashed speakers and BGP sessions whose physical
+            # links vanished; the flush propagates withdrawals/alternatives.
+            self.bgp.resync_speakers()
+            self.bgp.resync_sessions()
+            processed = self.scheduler.run_until_idle(max_events=max_events)
+            self.install_routes()
+            span.end(t=self.scheduler.now, events=processed)
         if observed:
             wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             self.obs.counter("orchestrator.reconvergences").inc()

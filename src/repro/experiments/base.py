@@ -192,7 +192,12 @@ def run(experiment_id: str, *, seed: Optional[int] = None,
             if obs.enabled:
                 obs.event("experiment.start", experiment=experiment_id,
                           seed=seed, params=json_safe(params or {}))
-            result = info.call(seed=seed, params=params)
+            # The run's root span: every epoch/convergence/forwarding
+            # span the runner produces lands in this one trace tree.
+            with obs.span("experiment", experiment=experiment_id,
+                          seed=seed) as span:
+                result = info.call(seed=seed, params=params)
+                span.end()
             if obs.enabled:
                 obs.event("experiment.end", experiment=experiment_id)
         if obs.enabled:

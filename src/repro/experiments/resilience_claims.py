@@ -24,6 +24,7 @@ from repro.core.evolution import EvolvableInternet
 from repro.core.metrics import measure_reachability
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs import get_obs
 from repro.topogen import InternetSpec
 from repro.experiments.base import ExperimentResult, register
 
@@ -168,6 +169,13 @@ def run_anycast_failover(seed: int = 11,
                         n_stub=int(params.get("n_stub", 6)),
                         hosts_per_stub=1, seed=seed)
     internet = EvolvableInternet.generate(spec, seed=seed)
+    obs = get_obs()
+    if obs.enabled:
+        # Turn gauges/counters into a convergence timeline: one
+        # metric.sample event per sim-time tick, driven lazily by the
+        # scheduler so the queue still drains to idle.
+        interval = float(params.get("sample_interval", 10.0))
+        internet.orchestrator.scheduler.attach_sampler(obs.sampler(interval))
     deployment = internet.new_deployment(version=8, scheme="default")
     deployment.deploy(deployment.scheme.default_asn)
     for asn in internet.stub_asns()[:2]:

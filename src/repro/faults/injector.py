@@ -100,7 +100,7 @@ class FaultInjector:
             self.orchestrator.converge(max_events=max_events)
         start = scheduler.now
         reports: List[FaultEpochReport] = []
-        for time, events in self.plan.epochs():
+        for epoch_index, (time, events) in enumerate(self.plan.epochs()):
             target = start + time
             if target < scheduler.now:
                 raise FaultError(
@@ -109,19 +109,41 @@ class FaultInjector:
                     "next epoch — space the plan out")
             scheduler.run_until(target, max_events=max_events)
             report = FaultEpochReport(time=scheduler.now)
-            for event in events:
-                report.events.append(self._apply(event))
-            if workload is not None:
-                report.transient = workload()
-            before = scheduler.events_processed
-            scheduler.run_until_idle(max_events=max_events)
-            report.reconverged_at = scheduler.now
-            report.events_processed = scheduler.events_processed - before
-            self.orchestrator.install_routes()
-            for deployment in self.deployments:
-                deployment.rebuild()
-            if workload is not None:
-                report.recovered = workload()
+            # The epoch span is the causal root the offline analyzer
+            # extracts critical paths from: fault.apply children (which
+            # in turn parent IGP hold-down timers), the transient and
+            # recovered workload phases, the reconvergence drain, and
+            # the FIB/vN-Bone reinstallation all hang under it.
+            with obs.span("fault.epoch", t=report.time,
+                          epoch=epoch_index) as epoch_span:
+                for event in events:
+                    report.events.append(self._apply(event))
+                if workload is not None:
+                    with obs.span("fault.workload", t=scheduler.now,
+                                  phase="transient") as wspan:
+                        report.transient = workload()
+                        wspan.end(t=scheduler.now)
+                before = scheduler.events_processed
+                with obs.span("fault.reconverge", t=scheduler.now) as rspan:
+                    scheduler.run_until_idle(max_events=max_events)
+                    rspan.end(t=scheduler.now,
+                              events=scheduler.events_processed - before)
+                report.reconverged_at = scheduler.now
+                report.events_processed = scheduler.events_processed - before
+                with obs.span("routes.install", t=scheduler.now) as ispan:
+                    self.orchestrator.install_routes()
+                    ispan.end(t=scheduler.now)
+                for deployment in self.deployments:
+                    deployment.rebuild()
+                if workload is not None:
+                    with obs.span("fault.workload", t=scheduler.now,
+                                  phase="recovered") as wspan:
+                        report.recovered = workload()
+                        wspan.end(t=scheduler.now)
+                epoch_span.end(t=scheduler.now,
+                               faults=len(report.events),
+                               reconverged_at=report.reconverged_at,
+                               reconvergence_time=report.reconvergence_time)
             reports.append(report)
             if obs.enabled:
                 obs.counter("faults.epochs").inc()
@@ -145,11 +167,17 @@ class FaultInjector:
             FaultKind.LOSS_START: self._apply_loss_start,
             FaultKind.LOSS_END: self._apply_loss_end,
         }[event.kind]
-        handler(event)
-        description = event.describe()
+        obs = self.orchestrator.obs
+        now = self.orchestrator.scheduler.now
+        # Entered span: timers the control planes arm while reacting
+        # (IGP hold-down) parent under this fault application.
+        with obs.span("fault.apply", t=now, fault=event.kind.value,
+                      target=list(event.target)) as span:
+            handler(event)
+            description = event.describe()
+            span.end(t=self.orchestrator.scheduler.now)
         self.records.append(FaultRecord(time=self.orchestrator.scheduler.now,
                                         description=description))
-        obs = self.orchestrator.obs
         if obs.enabled:
             obs.counter("faults.applied").inc()
             obs.event("fault.apply", t=self.orchestrator.scheduler.now,

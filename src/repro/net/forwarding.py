@@ -283,11 +283,15 @@ class ForwardingEngine:
     """
 
     def __init__(self, network: Network, max_steps: int = DEFAULT_MAX_STEPS,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.network = network
         self.max_steps = max_steps
         self._vn_handlers: Dict[int, VnHandler] = {}
         self.obs = obs if obs is not None else get_obs()
+        #: Optional sim-clock callable so forwarding spans/events carry
+        #: simulation time (the orchestrator wires its scheduler in).
+        self.clock = clock
         self._outcome_counters: Dict[Outcome, object] = {
             outcome: self.obs.counter(f"forwarding.outcome.{outcome.value}")
             for outcome in Outcome}
@@ -301,12 +305,44 @@ class ForwardingEngine:
 
     # -- the walk -----------------------------------------------------------
     def forward(self, packet: Packet, start: str, strict: bool = False) -> ForwardingTrace:
-        """Run *packet* from node *start* until a terminal outcome."""
+        """Run *packet* from node *start* until a terminal outcome.
+
+        With observability enabled, the walk runs inside a ``forward``
+        span: parented to the packet's carried context when present
+        (replicas, re-sends), otherwise to the innermost entered span
+        (e.g. a fault-epoch workload), and stamped onto the packet for
+        downstream causality.  Disabled handles skip all of it behind
+        the usual one ``enabled`` check.
+        """
         trace = ForwardingTrace()
-        self._walk(packet, self.network.node(start), trace, strict, None)
-        if self.obs.enabled:
-            self._observe_trace(trace, start)
+        if not self.obs.enabled:
+            self._walk(packet, self.network.node(start), trace, strict, None)
+            return trace
+        t = self.clock() if self.clock is not None else None
+        span = self.obs.span("forward", t=t, parent=packet.span, start=start)
+        if packet.span is None:
+            packet.span = span.context
+        with span:
+            self._walk(packet, self.network.node(start), trace, strict, None)
+            span.end(t=t, **self._span_fields(trace))
+        self._observe_trace(trace, start)
         return trace
+
+    @staticmethod
+    def _span_fields(trace: ForwardingTrace) -> Dict[str, object]:
+        """The ``span.end`` payload of one walk — everything the offline
+        analyzer needs to classify the walk (blackhole/loop detection,
+        stretch and encapsulation-overhead distributions) without the
+        hop list."""
+        return {"outcome": trace.outcome.value,
+                "delivered_to": trace.delivered_to,
+                "physical_hops": trace.physical_hops,
+                "vn_hops": trace.vn_hops,
+                "encapsulations": trace.encapsulations,
+                "decapsulations": trace.decapsulations,
+                "max_depth": trace.max_depth,
+                "faulted": trace.faulted,
+                "drop_reason": trace.drop_reason}
 
     def _observe_trace(self, trace: ForwardingTrace, start: str) -> None:  # repro: allow[D4]
         """Per-outcome counters, hop/depth histograms, one trace event."""
@@ -330,6 +366,17 @@ class ForwardingEngine:
         deliveries, total transmissions, and per-link stress.
         """
         mtrace = MulticastTrace()
+        observed = self.obs.enabled
+        t = self.clock() if (observed and self.clock is not None) else None
+        root = None
+        if observed:
+            # The fanout root span; every branch parents under it (or
+            # under the branch that replicated it, via the packet-
+            # carried context), so the trace is the distribution tree.
+            root = self.obs.span("forward.multicast", t=t, parent=packet.span,
+                                 start=start).start()
+            if packet.span is None:
+                packet.span = root.context
         queue: deque = deque([(packet, self.network.node(start))])
         while queue:
             if len(mtrace.branches) >= self.max_steps:
@@ -337,11 +384,19 @@ class ForwardingEngine:
                 break
             branch_packet, node = queue.popleft()
             branch = ForwardingTrace()
-            self._walk(branch_packet, node, branch, False, queue)
-            if self.obs.enabled:
+            if root is None:
+                self._walk(branch_packet, node, branch, False, queue)
+            else:
+                bspan = self.obs.span("forward", t=t,
+                                      parent=branch_packet.span,
+                                      start=node.node_id)
+                branch_packet.span = bspan.context
+                with bspan:
+                    self._walk(branch_packet, node, branch, False, queue)
+                    bspan.end(t=t, **self._span_fields(branch))
                 self._observe_trace(branch, node.node_id)
             mtrace.add_branch(self.network, branch)
-        if self.obs.enabled:
+        if observed:
             self.obs.counter("forwarding.multicast_walks").inc()
             self.obs.event("forward.multicast", start=start,
                            branches=len(mtrace.branches),
@@ -349,6 +404,12 @@ class ForwardingEngine:
                            transmissions=mtrace.transmissions,
                            max_link_stress=mtrace.max_link_stress,
                            truncated=mtrace.truncated)
+            if root is not None:
+                root.end(t=t, branches=len(mtrace.branches),
+                         delivered=len(mtrace.delivered_to),
+                         transmissions=mtrace.transmissions,
+                         max_link_stress=mtrace.max_link_stress,
+                         truncated=mtrace.truncated)
         return mtrace
 
     def _walk(self, packet: Packet, node: Node, trace: ForwardingTrace,

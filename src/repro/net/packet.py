@@ -27,6 +27,7 @@ from typing import List, Optional, Union
 
 from repro.net.address import IPv4Address, VNAddress
 from repro.net.errors import ForwardingError
+from repro.obs import SpanContext
 
 DEFAULT_TTL = 64
 
@@ -111,6 +112,10 @@ class Packet:
     headers: List[Header] = field(default_factory=list)
     payload: object = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Causal span context the packet is traveling under (set by the
+    #: forwarding engine when spans are enabled; survives copies, so
+    #: encap/decap replicas stay in the originating trace).
+    span: Optional[SpanContext] = None
 
     def __post_init__(self) -> None:
         if not self.headers:
@@ -159,7 +164,7 @@ class Packet:
     def copy(self) -> "Packet":
         """A shallow copy with its own header stack (headers are frozen)."""
         return Packet(headers=list(self.headers), payload=self.payload,
-                      packet_id=self.packet_id)
+                      packet_id=self.packet_id, span=self.span)
 
     def __str__(self) -> str:
         stack = " | ".join(str(h) for h in reversed(self.headers))

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.net.errors import ConvergenceError, SimulationError
-from repro.obs import Observability, get_obs
+from repro.obs import MetricSampler, Observability, SpanContext, get_obs
 
 Callback = Callable[[], None]
 
@@ -47,6 +47,10 @@ class _Event:
     finished: bool = field(default=False, compare=False)
     #: False for events that never entered the queue (dropped messages).
     queued: bool = field(default=True, compare=False)
+    #: Span context captured at schedule time (scheduler-carried
+    #: propagation): the callback runs with this context active, so
+    #: message cascades parent under the span that sent them.
+    span_ctx: Optional[SpanContext] = field(default=None, compare=False)
 
 
 class EventHandle:
@@ -113,6 +117,10 @@ class EventScheduler:
         #: Observability handle, bound at construction (see repro.obs).
         #: Metrics are cached once so the enabled path stays cheap.
         self.obs = obs if obs is not None else get_obs()
+        #: Optional metric sampler driven by clock advances (see
+        #: repro.obs.sampler); None unless attached, so the disabled
+        #: path pays one attribute check.
+        self._sampler: Optional[MetricSampler] = None
         self._c_scheduled = self.obs.counter("scheduler.events_scheduled")
         self._c_fired = self.obs.counter("scheduler.events_fired")
         self._c_cancelled = self.obs.counter("scheduler.events_cancelled")
@@ -140,6 +148,7 @@ class EventScheduler:
         if self.obs.enabled:
             self._c_scheduled.inc()
             self._g_depth.set_max(self._live)
+            event.span_ctx = self.obs.current_span_context()
         return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callback) -> EventHandle:
@@ -201,6 +210,16 @@ class EventScheduler:
                 return event
         return None
 
+    def attach_sampler(self, sampler: MetricSampler) -> None:
+        """Drive *sampler* from this scheduler's clock advances.
+
+        The sampler is pulled, not scheduled: it emits its ticks from
+        :meth:`step` / :meth:`run_until` clock updates, so an attached
+        sampler never keeps the queue alive during ``run_until_idle``.
+        """
+        self._sampler = sampler
+        sampler.on_advance(self._now)
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         event = self._pop_next()
@@ -210,7 +229,17 @@ class EventScheduler:
         self.events_processed += 1
         if self.obs.enabled:
             self._c_fired.inc()
-        event.callback()
+        if self._sampler is not None:
+            self._sampler.on_advance(self._now)
+        ctx = event.span_ctx
+        if ctx is None:
+            event.callback()
+        else:
+            self.obs.push_span_context(ctx)
+            try:
+                event.callback()
+            finally:
+                self.obs.pop_span_context()
         return True
 
     def run_until_idle(self, max_events: int = 2_000_000) -> int:
@@ -250,6 +279,8 @@ class EventScheduler:
                 raise ConvergenceError(
                     f"event budget exhausted after {max_events} events before t={time}")
         self._now = max(self._now, time)
+        if self._sampler is not None:
+            self._sampler.on_advance(self._now)
         if self.obs.enabled:
             self.obs.event("scheduler.run_until", t=self._now, events=processed)
         return processed

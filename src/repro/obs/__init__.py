@@ -33,9 +33,14 @@ from typing import Dict, Iterator, Optional
 
 from repro.obs.probe import NULL_PROBE, NullProbe, Probe
 from repro.obs.registry import Counter, Gauge, Histogram, Registry
+from repro.obs.sampler import METRIC_SAMPLE, MetricSampler
 from repro.obs.serialize import json_safe
-from repro.obs.tracer import (RUN_END, RUN_START, WALL_PREFIX, Tracer,
-                              strip_wall_fields, validate_trace,
+from repro.obs.spans import (NULL_SPAN, SPAN_END, SPAN_START, AbstractSpan,
+                             NullSpan, Span, SpanContext, SpanTracker,
+                             validate_span_events, validate_span_lines,
+                             validate_spans)
+from repro.obs.tracer import (RUN_END, RUN_START, TRACE_SCHEMA, WALL_PREFIX,
+                              Tracer, strip_wall_fields, validate_trace,
                               validate_trace_lines)
 
 
@@ -54,6 +59,7 @@ class Observability:
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
         self.enabled = enabled
+        self._spans = SpanTracker()
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -88,6 +94,44 @@ class Observability:
         """Finalize the trace (writes the ``run.end`` footer)."""
         if self.tracer is not None:
             self.tracer.close()
+
+    # -- causal spans --------------------------------------------------------
+    def span(self, name: str, *, t: Optional[float] = None,
+             parent: object = None, **fields: object) -> AbstractSpan:
+        """Open a causal span; the shared :data:`NULL_SPAN` when disabled.
+
+        ``parent`` accepts a :class:`Span`, a :class:`SpanContext`, or
+        ``None`` (inherit the innermost entered span, else start a new
+        trace).  *fields* land on the ``span.start`` event; *t* is
+        simulation time when meaningful.  Use as a context manager to
+        make synchronously nested spans parent automatically.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None and not isinstance(parent, (AbstractSpan,
+                                                          SpanContext)):
+            raise TypeError("span parent must be a Span, SpanContext, or "
+                            f"None, got {type(parent).__name__}")
+        return self._spans.create(self, name, t=t, parent=parent,
+                                  fields=dict(fields))
+
+    def current_span_context(self) -> Optional[SpanContext]:
+        """The innermost entered span's context (propagation carriers
+        capture this), or ``None``."""
+        return self._spans.current()
+
+    def push_span_context(self, context: SpanContext) -> None:
+        """Activate a propagated span context (scheduler-carried)."""
+        self._spans.push(context)
+
+    def pop_span_context(self) -> None:
+        self._spans.pop()
+
+    # -- periodic sampling ---------------------------------------------------
+    def sampler(self, interval: float) -> MetricSampler:
+        """A sim-time metric sampler; attach it to an
+        :class:`~repro.net.simulator.EventScheduler`."""
+        return MetricSampler(self, interval)
 
     # -- timing spans --------------------------------------------------------
     def probe(self, name: str, **fields: object):
@@ -125,8 +169,11 @@ def observing(obs: Optional[Observability]) -> Iterator[Observability]:
         _ACTIVE = previous
 
 
-__all__ = ["Counter", "Gauge", "Histogram", "NULL_OBS", "NULL_PROBE",
-           "NullProbe", "Observability", "Probe", "Registry", "RUN_END",
-           "RUN_START", "Tracer", "WALL_PREFIX", "get_obs", "json_safe",
-           "observing", "strip_wall_fields", "validate_trace",
-           "validate_trace_lines"]
+__all__ = ["AbstractSpan", "Counter", "Gauge", "Histogram", "METRIC_SAMPLE",
+           "MetricSampler", "NULL_OBS", "NULL_PROBE", "NULL_SPAN", "NullProbe",
+           "NullSpan", "Observability", "Probe", "Registry", "RUN_END",
+           "RUN_START", "SPAN_END", "SPAN_START", "Span", "SpanContext",
+           "SpanTracker", "TRACE_SCHEMA", "Tracer", "WALL_PREFIX", "get_obs",
+           "json_safe", "observing", "strip_wall_fields",
+           "validate_span_events", "validate_span_lines", "validate_spans",
+           "validate_trace", "validate_trace_lines"]

@@ -51,12 +51,13 @@ class Gauge:
 class Histogram:
     """Streaming summary of an observed value series.
 
-    Keeps count/total/min/max rather than buckets: enough for the
-    timing and size distributions the experiments report, with O(1)
-    memory and no configuration.
+    Keeps count/total/min/max plus Welford running-variance state
+    rather than buckets: enough for the timing and size distributions
+    the experiments report, with O(1) memory and no configuration.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_welford_mean",
+                 "_welford_m2")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -64,10 +65,15 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._welford_mean = 0.0
+        self._welford_m2 = 0.0
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        delta = value - self._welford_mean
+        self._welford_mean += delta / self.count
+        self._welford_m2 += delta * (value - self._welford_mean)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -77,9 +83,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def variance(self) -> float:
+        """Population variance, streamed via Welford's algorithm."""
+        return self._welford_m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return self.variance ** 0.5
+
     def summary(self) -> Dict[str, float]:
         return {"count": float(self.count), "total": float(self.total),
-                "mean": float(self.mean),
+                "mean": float(self.mean), "stddev": float(self.stddev),
                 "min": float(self.min) if self.min is not None else 0.0,
                 "max": float(self.max) if self.max is not None else 0.0}
 
@@ -114,6 +129,16 @@ class Registry:
         if metric is None:
             metric = self._histograms[name] = Histogram(name)
         return metric
+
+    def counter_values(self) -> Dict[str, int]:
+        """Counter values only, keys sorted (the sampler payload)."""
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def gauge_values(self) -> Dict[str, float]:
+        """Gauge values only, keys sorted (the sampler payload)."""
+        return {name: self._gauges[name].value
+                for name in sorted(self._gauges)}
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-safe dump of every metric, keys sorted for stability."""

@@ -1,0 +1,65 @@
+"""Periodic metric sampling on the simulation clock.
+
+Gauges and counters are last-write-wins aggregates; a
+:class:`MetricSampler` turns them into a time series by emitting
+``metric.sample`` events at deterministic sim-time ticks (``t = 0,
+interval, 2*interval, ...``).
+
+The sampler is *lazy*: it never schedules events of its own (a
+self-rescheduling tick would keep the event queue alive and break
+``run_until_idle``).  Instead the :class:`~repro.net.simulator.
+EventScheduler` it is attached to calls :meth:`on_advance` whenever
+simulation time moves, and the sampler emits one event per tick
+crossed since the last advance.  Sample times and payloads are pure
+functions of the seeded run, so ``metric.sample`` events survive the
+``strip_wall_fields()`` determinism check.
+
+Histograms are deliberately excluded from the payload: their summaries
+aggregate ``wall_ms`` observations, which would smuggle nondeterminism
+into a non-``wall_`` field.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import Observability
+
+#: Event kind the sampler emits.
+METRIC_SAMPLE = "metric.sample"
+
+
+class MetricSampler:
+    """Emits ``metric.sample`` events at fixed sim-time intervals.
+
+    Create via ``obs.sampler(interval)`` and attach with
+    ``scheduler.attach_sampler(sampler)``; the scheduler then drives
+    :meth:`on_advance` from every clock update.
+    """
+
+    __slots__ = ("obs", "interval", "_next_tick", "samples")
+
+    def __init__(self, obs: "Observability", interval: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"sampler interval must be positive, got {interval!r}")
+        self.obs = obs
+        self.interval = float(interval)
+        self._next_tick = 0.0
+        self.samples = 0
+
+    def on_advance(self, now: float) -> None:
+        """Emit one sample per tick in ``(last advance, now]``."""
+        if not self.obs.enabled:
+            return
+        while self._next_tick <= now:
+            registry = self.obs.registry
+            self.obs.event(METRIC_SAMPLE, t=self._next_tick,
+                           sample=self.samples,
+                           counters=registry.counter_values(),
+                           gauges=registry.gauge_values())
+            self.samples += 1
+            self._next_tick += self.interval
+
+
+__all__ = ["METRIC_SAMPLE", "MetricSampler"]

@@ -30,6 +30,13 @@ WALL_PREFIX = "wall_"
 RUN_START = "run.start"
 RUN_END = "run.end"
 
+#: Schema tag stamped into the ``run.start`` header.  v2 added the
+#: ``span.start``/``span.end`` causal-span events (``docs/tracing.md``);
+#: v1 streams (no ``schema`` field) still validate.
+TRACE_SCHEMA = "repro.trace/v2"
+
+_KNOWN_SCHEMAS = ("repro.trace/v1", TRACE_SCHEMA)
+
 
 class Tracer:
     """Writes one structured event stream, as JSON lines.
@@ -61,19 +68,27 @@ class Tracer:
         if self.path is not None:
             self._fh = Path(self.path).open("w", encoding="utf-8")
         self._write({"kind": RUN_START, "seq": self._next_seq(),
+                     "schema": TRACE_SCHEMA,
                      "context": json_safe(self.context)})
 
     def close(self) -> None:
-        """Write the ``run.end`` footer and release the file handle."""
+        """Write the ``run.end`` footer and release the file handle.
+
+        Durable: the handle is closed even when writing the footer
+        raises (full disk, closed stream), so a failed final write
+        never leaks the descriptor or leaves the file unflushed.
+        """
         if self._closed:
             return
         self._ensure_started()
         self._closed = True
-        self._write({"kind": RUN_END, "seq": self._next_seq(),
-                     "events": self._seq - 2})
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        try:
+            self._write({"kind": RUN_END, "seq": self._next_seq(),
+                         "events": self._seq - 2})
+        finally:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "Tracer":
         self._ensure_started()
@@ -162,6 +177,14 @@ def validate_trace_lines(lines: Iterable[str]) -> List[str]:
                               f"got {kind!r}")
             elif not isinstance(event.get("context"), dict):
                 errors.append("line 1: run.start has no 'context' object")
+            schema = event.get("schema")
+            if schema is not None and schema not in _KNOWN_SCHEMAS:
+                errors.append(f"line 1: unknown trace schema {schema!r}")
+        if kind in ("span.start", "span.end"):
+            for field in ("span_id", "trace_id"):
+                if not isinstance(event.get(field), str):
+                    errors.append(f"line {lineno}: {kind} has missing or "
+                                  f"non-string {field!r}")
         if saw_end_at is not None:
             errors.append(f"line {lineno}: event after {RUN_END!r} "
                           f"(line {saw_end_at})")
@@ -179,9 +202,14 @@ def validate_trace_lines(lines: Iterable[str]) -> List[str]:
 
 
 def validate_trace(path: str) -> List[str]:
-    """Validate a JSONL trace file; returns problems (empty == valid)."""
-    text = Path(path).read_text(encoding="utf-8")
-    return validate_trace_lines(text.splitlines())
+    """Validate a JSONL trace file; returns problems (empty == valid).
+
+    Streams line-by-line from the open handle — a ROADMAP-scale trace
+    (millions of events) validates in constant memory instead of being
+    materialized as one string.
+    """
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return validate_trace_lines(fh)
 
 
 def strip_wall_fields(lines: Iterable[str]) -> List[str]:

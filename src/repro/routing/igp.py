@@ -32,7 +32,7 @@ from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.simulator import EventScheduler, MessageStats
-from repro.obs import get_obs
+from repro.obs import AbstractSpan, get_obs
 
 #: The paper's "high-cost link" to the anycast address under link-state.
 #: The cost is uniform across members, so it never changes *which*
@@ -63,6 +63,11 @@ class IgpProtocol(abc.ABC):
         self._started = False
         #: Per-router hold-down: routers with a pending reaction timer.
         self._holddown_pending: Set[str] = set()
+        #: Open ``igp.holddown`` spans, one per pending timer: started
+        #: when the timer is armed (under the fault that armed it),
+        #: ended at expiry — so the dampening delay shows up as a
+        #: measurable phase in the offline critical-path report.
+        self._holddown_spans: Dict[str, AbstractSpan] = {}
         self.hold_down = HOLD_DOWN_DELAY
 
     # -- lifecycle -----------------------------------------------------------
@@ -118,11 +123,17 @@ class IgpProtocol(abc.ABC):
         if router_id in self._holddown_pending:
             return
         self._holddown_pending.add(router_id)
+        self._holddown_spans[router_id] = self.obs.span(
+            "igp.holddown", t=self.scheduler.now, asn=self.domain.asn,
+            router=router_id).start()
         self.scheduler.schedule(
             self.hold_down, lambda r=router_id: self._holddown_expired(r))
 
     def _holddown_expired(self, router_id: str) -> None:
         self._holddown_pending.discard(router_id)
+        span = self._holddown_spans.pop(router_id, None)
+        if span is not None:
+            span.end(t=self.scheduler.now)
         if router_id not in self.domain.routers:
             return
         if not self.network.node(router_id).up:

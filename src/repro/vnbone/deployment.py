@@ -178,7 +178,19 @@ class VnDeployment:
         observed = obs.enabled
         if observed:
             wall_t0 = time.perf_counter()
-        self.orchestrator.reconverge()
+        # The nested orchestrator.reconverge span (the BGP-resync drain)
+        # runs under this one, which is how the offline critical-path
+        # report separates resync time from vN-Bone rebuild time.
+        span = obs.span("vnbone.rebuild", t=self.orchestrator.scheduler.now,
+                        version=self.version).start()
+        ctx = span.context
+        if ctx is not None:
+            obs.push_span_context(ctx)
+        try:
+            self.orchestrator.reconverge()
+        finally:
+            if ctx is not None:
+                obs.pop_span_context()
         self.scheme.post_converge_install()
         # Crashed members cannot terminate tunnels or own prefixes; the
         # vN-Bone is rebuilt over the survivors so that delivery fails
@@ -211,6 +223,8 @@ class VnDeployment:
         else:
             self.routing.compute(self.states, entries)
         self._dirty = False
+        span.end(t=self.orchestrator.scheduler.now, members=len(live),
+                 tunnels=len(self.tunnels))
         if observed:
             wall_ms = (time.perf_counter() - wall_t0) * 1000.0
             obs.counter("vnbone.rebuilds").inc()

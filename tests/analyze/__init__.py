@@ -1,0 +1,1 @@
+"""Tests for the offline trace-analysis toolkit (repro.analyze)."""

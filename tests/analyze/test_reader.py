@@ -1,0 +1,124 @@
+"""Streaming reader and span-forest reconstruction."""
+
+import json
+
+from repro.analyze import build_span_forest, iter_trace_events
+from repro.analyze.reader import as_float, as_str
+
+
+def write_trace(tmp_path, events):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n",
+                    encoding="utf-8")
+    return str(path)
+
+
+def start(span_id, name, trace_id="t0001", parent=None, t=None, **fields):
+    event = {"kind": "span.start", "span_id": span_id, "trace_id": trace_id,
+             "name": name, **fields}
+    if parent is not None:
+        event["parent_id"] = parent
+    if t is not None:
+        event["t"] = t
+    return event
+
+
+def end(span_id, name, trace_id="t0001", t=None, **fields):
+    event = {"kind": "span.end", "span_id": span_id, "trace_id": trace_id,
+             "name": name, **fields}
+    if t is not None:
+        event["t"] = t
+    return event
+
+
+class TestIterTraceEvents:
+    def test_streams_json_objects_and_skips_junk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "a", "seq": 0}\n'
+                        "\n"
+                        "not json\n"
+                        "[1, 2]\n"
+                        '{"kind": "b", "seq": 1}\n', encoding="utf-8")
+        kinds = [event["kind"] for event in iter_trace_events(path)]
+        assert kinds == ["a", "b"]
+
+    def test_is_lazy(self, tmp_path):
+        path = write_trace(tmp_path, [{"kind": "e", "seq": n}
+                                      for n in range(50)])
+        stream = iter_trace_events(path)
+        assert next(stream)["seq"] == 0
+        assert next(stream)["seq"] == 1
+
+
+class TestNarrowing:
+    def test_as_float_rejects_bools_and_strings(self):
+        assert as_float(2) == 2.0
+        assert as_float(2.5) == 2.5
+        assert as_float(True) is None
+        assert as_float("3") is None
+        assert as_float(None) is None
+
+    def test_as_str(self):
+        assert as_str("x") == "x"
+        assert as_str(3) is None
+
+
+class TestBuildSpanForest:
+    def test_parent_links_and_roots(self):
+        events = [start("s1", "epoch", t=10.0),
+                  start("s2", "apply", parent="s1", t=10.0),
+                  end("s2", "apply", t=10.0),
+                  end("s1", "epoch", t=12.0, faults=1)]
+        forest = build_span_forest(events)
+        assert forest.roots == ["s1"]
+        root = forest.get("s1")
+        assert root.children == ["s2"]
+        assert root.duration == 2.0
+        assert root.end_fields == {"faults": 1}
+        assert root.ended
+        child = forest.get("s2")
+        assert child.parent_id == "s1"
+        assert child.t_start == 10.0
+
+    def test_unended_span_has_no_duration(self):
+        forest = build_span_forest([start("s1", "holddown", t=1.0)])
+        node = forest.get("s1")
+        assert not node.ended
+        assert node.duration is None
+
+    def test_walk_is_preorder(self):
+        events = [start("s1", "a"), start("s2", "b", parent="s1"),
+                  start("s3", "c", parent="s2"),
+                  start("s4", "d", parent="s1")]
+        forest = build_span_forest(events)
+        assert [node.span_id for node in forest.walk("s1")] == ["s1", "s2",
+                                                                "s3", "s4"]
+
+    def test_ancestor_lookup(self):
+        events = [start("s1", "epoch"), start("s2", "rebuild", parent="s1"),
+                  start("s3", "reconverge", parent="s2")]
+        forest = build_span_forest(events)
+        assert forest.ancestor("s3", "epoch").span_id == "s1"
+        assert forest.ancestor("s3", "reconverge").span_id == "s3"
+        assert forest.ancestor("s1", "missing") is None
+
+    def test_by_name_in_start_order(self):
+        events = [start("s1", "forward"), start("s2", "epoch"),
+                  start("s3", "forward")]
+        forest = build_span_forest(events)
+        assert [n.span_id for n in forest.by_name("forward")] == ["s1", "s3"]
+
+    def test_skip_predicate_excludes_high_volume_spans(self):
+        events = [start("s1", "epoch"),
+                  start("s2", "forward", parent="s1"),
+                  end("s2", "forward"),
+                  start("s3", "apply", parent="s1")]
+        forest = build_span_forest(events,
+                                   skip=lambda name: name == "forward")
+        assert "s2" not in forest.spans
+        assert [n.span_id for n in forest.children_of("s1")] == ["s3"]
+
+    def test_start_fields_exclude_identity_keys(self):
+        events = [start("s1", "epoch", t=5.0, seq=3, epoch=0)]
+        forest = build_span_forest(events)
+        assert forest.get("s1").fields == {"epoch": 0}

@@ -1,0 +1,129 @@
+"""Serialization contract of forwarding traces.
+
+``to_dict()`` output must survive a JSON round trip byte-identically
+(dump -> load -> dump), and ``HopRecord.format()`` is the single
+rendering both the pretty trace and the JSONL event form use — pinned
+here on the multicast decisions (``vn-replicate`` / ``vn-egress``)
+whose hops carry depth and detail annotations.
+"""
+
+import json
+
+from repro.net import Domain, Network, Prefix
+from repro.net.address import VNAddress
+from repro.net.forwarding import (ForwardingEngine, HopRecord, VnEgress,
+                                  VnForward, VnReplicate)
+from repro.net.node import FibEntry, RouteSource
+from repro.net.packet import IPv4Header, vn_packet
+
+GROUP = VNAddress((1 << 62) | 7)
+
+
+def star_network(n_leaves=3):
+    net = Network()
+    net.add_domain(Domain(asn=1, name="one",
+                          prefix=Prefix.parse("10.1.0.0/16")))
+    hub = net.add_router("hub", 1)
+    leaves = [net.add_router(f"l{i}", 1) for i in range(n_leaves)]
+    for leaf in leaves:
+        net.add_link("hub", leaf.node_id)
+        hub.fib4.install(FibEntry(prefix=Prefix.host(leaf.ipv4),
+                                  next_hop=leaf.node_id,
+                                  source=RouteSource.STATIC))
+        leaf.fib4.install(FibEntry(prefix=Prefix.host(hub.ipv4),
+                                   next_hop="hub",
+                                   source=RouteSource.STATIC))
+    return net, hub, leaves
+
+
+def multicast_trace():
+    """A replicated delivery exercising vn-replicate and vn-egress.
+
+    The hub forks one copy per leaf (``VnForward``); each leaf then
+    exits the vN-Bone towards its own host (``VnEgress``), so both
+    decision kinds leave hop records in the branch traces.
+    """
+    net, hub, leaves = star_network(2)
+    hosts = [net.add_host(f"h{i}", 1, leaf.node_id)
+             for i, leaf in enumerate(leaves)]
+    host_of = {leaf.node_id: host for leaf, host in zip(leaves, hosts)}
+    for leaf, host in zip(leaves, hosts):
+        host.vn_groups.add(GROUP)
+        hub.fib4.install(FibEntry(prefix=Prefix.host(host.ipv4),
+                                  next_hop=leaf.node_id,
+                                  source=RouteSource.STATIC))
+        leaf.fib4.install(FibEntry(prefix=Prefix.host(host.ipv4),
+                                   next_hop=host.node_id,
+                                   source=RouteSource.STATIC))
+    engine = ForwardingEngine(net)
+
+    def handler(node, packet):
+        if node.node_id == "hub":
+            return VnReplicate(copies=tuple(VnForward(leaf.node_id)
+                                            for leaf in leaves),
+                               mark_downstream=True)
+        return VnEgress(host_of[node.node_id].ipv4)
+
+    engine.register_vn_handler(8, handler)
+    for node in net.nodes.values():
+        if node.is_router:
+            node.set_vn_state(8, object())
+    packet = vn_packet(VNAddress(1), GROUP)
+    packet.encapsulate(IPv4Header(src=hub.ipv4, dst=hub.ipv4))
+    return engine.forward_multicast(packet, "hub"), hosts
+
+
+def roundtrip(doc):
+    first = json.dumps(doc, sort_keys=True)
+    second = json.dumps(json.loads(first), sort_keys=True)
+    return first, second
+
+
+class TestToDictRoundTrip:
+    def test_forwarding_trace_roundtrips_byte_identical(self):
+        trace, _ = multicast_trace()
+        branch = trace.branches[0]
+        first, second = roundtrip(branch.to_dict())
+        assert first == second
+
+    def test_multicast_trace_roundtrips_byte_identical(self):
+        trace, hosts = multicast_trace()
+        assert trace.delivered_to == {h.node_id for h in hosts}
+        first, second = roundtrip(trace.to_dict())
+        assert first == second
+
+    def test_rendered_field_matches_format(self):
+        trace, _ = multicast_trace()
+        for branch in trace.branches:
+            for hop, hop_doc in zip(branch.hops,
+                                    branch.to_dict()["hops"]):
+                assert hop_doc["rendered"] == hop.format()
+
+
+class TestHopRecordFormat:
+    def test_replicate_hop_renders_with_copy_count(self):
+        trace, _ = multicast_trace()
+        root = trace.branches[0]
+        replicate = [hop for hop in root.hops if hop.action == "vn-replicate"]
+        assert replicate, "root branch never replicated"
+        rendered = replicate[0].format()
+        assert rendered.startswith("hub[AS1] vn-replicate")
+        assert replicate[0].detail in rendered
+
+    def test_egress_hop_renders_exit_detail(self):
+        trace, _ = multicast_trace()
+        egress = [hop for branch in trace.branches for hop in branch.hops
+                  if hop.action == "vn-egress"]
+        assert egress, "no branch exited the vN-Bone"
+        rendered = egress[0].format()
+        assert "vn-egress" in rendered
+        assert "exit vN-Bone" in rendered
+
+    def test_depth_and_fault_annotations(self):
+        deep = HopRecord(node_id="r1", domain_id=2, action="ipv4-forward",
+                         detail="next x", depth=3, faulted=True)
+        rendered = deep.format()
+        assert rendered == "r1[AS2] ipv4-forward (next x) [depth=3] [fault]"
+        plain = HopRecord(node_id="r1", domain_id=2, action="deliver")
+        assert plain.format() == "r1[AS2] deliver"
+        assert str(plain) == plain.format()

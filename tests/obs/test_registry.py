@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import Registry
 
 
@@ -42,11 +44,13 @@ class TestHistogram:
         assert summary["mean"] == 5.0
         assert summary["min"] == 2.0
         assert summary["max"] == 8.0
+        # population stddev of (2, 8, 5) = sqrt(6)
+        assert summary["stddev"] == pytest.approx(6.0 ** 0.5)
 
     def test_empty_summary_is_zeroes(self):
         summary = Registry().histogram("h").summary()
         assert summary == {"count": 0.0, "total": 0.0, "mean": 0.0,
-                           "min": 0.0, "max": 0.0}
+                           "stddev": 0.0, "min": 0.0, "max": 0.0}
 
 
 class TestSnapshot:

@@ -1,0 +1,98 @@
+"""Periodic gauge sampling: lazy, scheduler-driven, deterministic."""
+
+import pytest
+
+from repro.net.simulator import EventScheduler
+from repro.obs import METRIC_SAMPLE, Observability, Tracer, observing
+
+
+def traced_obs():
+    return Observability(tracer=Tracer(context={"seed": 0}))
+
+
+def samples(obs):
+    obs.close()
+    return [event for event in obs.tracer.events()
+            if event["kind"] == METRIC_SAMPLE]
+
+
+class TestSamplerConstruction:
+    def test_non_positive_interval_is_rejected(self):
+        obs = traced_obs()
+        with pytest.raises(ValueError):
+            obs.sampler(0.0)
+        with pytest.raises(ValueError):
+            obs.sampler(-1.0)
+
+
+class TestSchedulerDriven:
+    def test_samples_at_interval_ticks(self):
+        obs = traced_obs()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        scheduler.attach_sampler(obs.sampler(10.0))
+        scheduler.schedule(25.0, lambda: None)
+        scheduler.run_until_idle()
+        ticks = samples(obs)
+        assert [event["t"] for event in ticks] == [0.0, 10.0, 20.0]
+        assert [event["sample"] for event in ticks] == [0, 1, 2]
+
+    def test_payload_is_counters_and_gauges(self):
+        obs = traced_obs()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        scheduler.attach_sampler(obs.sampler(5.0))
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run_until_idle()
+        tick = samples(obs)[-1]
+        assert "scheduler.events_scheduled" in tick["counters"]
+        assert "scheduler.queue_depth_max" in tick["gauges"]
+        # Histograms aggregate wall-clock timings; the deterministic
+        # sample stream must not carry them.
+        assert "histograms" not in tick
+
+    def test_sampler_adds_no_queue_events(self):
+        # The sampler is driven lazily from step()/run_until(), so the
+        # queue still drains to idle and event counters see nothing.
+        obs = traced_obs()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        scheduler.attach_sampler(obs.sampler(1.0))
+        scheduler.schedule(3.0, lambda: None)
+        scheduler.run_until_idle()
+        counters = obs.metrics_summary()["counters"]
+        assert counters["scheduler.events_scheduled"] == 1
+        assert counters["scheduler.events_fired"] == 1
+
+    def test_run_until_advances_ticks_without_events(self):
+        obs = traced_obs()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        scheduler.attach_sampler(obs.sampler(10.0))
+        scheduler.run_until(35.0)
+        assert [event["t"] for event in samples(obs)] == [0.0, 10.0, 20.0,
+                                                          30.0]
+
+    def test_disabled_obs_emits_nothing(self):
+        obs = Observability.disabled()
+        with observing(obs):
+            scheduler = EventScheduler(seed=1)
+        sampler = obs.sampler(1.0)
+        scheduler.attach_sampler(sampler)
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run_until_idle()
+        assert sampler.samples == 0
+
+    def test_same_seed_sample_streams_are_identical(self):
+        def run():
+            obs = traced_obs()
+            with observing(obs):
+                scheduler = EventScheduler(seed=3)
+            scheduler.attach_sampler(obs.sampler(2.0))
+            counter = obs.counter("work.done")
+            for t in (1.0, 4.0, 9.0):
+                scheduler.schedule(t, counter.inc)
+            scheduler.run_until_idle()
+            return samples(obs)
+
+        assert run() == run()

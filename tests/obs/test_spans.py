@@ -1,0 +1,216 @@
+"""Causal spans: deterministic IDs, nesting, propagation, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, Observability, SpanContext, Tracer, observing
+from repro.obs.spans import (validate_span_events, validate_span_lines,
+                             validate_spans)
+
+
+def traced_obs():
+    return Observability(tracer=Tracer(context={"seed": 0}))
+
+
+def span_events(obs):
+    obs.close()
+    return [event for event in obs.tracer.events()
+            if event["kind"] in ("span.start", "span.end")]
+
+
+class TestIdDeterminism:
+    def test_ids_come_from_per_handle_counters(self):
+        obs = traced_obs()
+        with obs.span("outer"):
+            obs.span("inner").end()
+        events = span_events(obs)
+        assert [e["span_id"] for e in events] == ["s000001", "s000002",
+                                                 "s000002", "s000001"]
+        assert all(e["trace_id"] == "t0001" for e in events)
+
+    def test_two_fresh_handles_allocate_identical_sequences(self):
+        def run(obs):
+            with obs.span("a"):
+                obs.span("b").end()
+            obs.span("c").end()
+            return span_events(obs)
+
+        assert run(traced_obs()) == run(traced_obs())
+
+    def test_each_root_span_opens_a_new_trace(self):
+        obs = traced_obs()
+        obs.span("first").end()
+        obs.span("second").end()
+        starts = [e for e in span_events(obs) if e["kind"] == "span.start"]
+        assert [e["trace_id"] for e in starts] == ["t0001", "t0002"]
+
+
+class TestNestingAndParents:
+    def test_entered_span_becomes_parent_of_nested_spans(self):
+        obs = traced_obs()
+        with obs.span("parent") as parent:
+            obs.span("child").end()
+        events = span_events(obs)
+        child_start = next(e for e in events if e.get("name") == "child"
+                           and e["kind"] == "span.start")
+        assert child_start["parent_id"] == parent.context.span_id
+        parent_start = next(e for e in events if e.get("name") == "parent"
+                            and e["kind"] == "span.start")
+        assert "parent_id" not in parent_start
+
+    def test_explicit_parent_span_and_context(self):
+        obs = traced_obs()
+        root = obs.span("root").start()
+        via_span = obs.span("via-span", parent=root)
+        via_ctx = obs.span("via-ctx", parent=root.context)
+        via_span.end()
+        via_ctx.end()
+        root.end()
+        starts = {e["name"]: e for e in span_events(obs)
+                  if e["kind"] == "span.start"}
+        assert starts["via-span"]["parent_id"] == root.context.span_id
+        assert starts["via-ctx"]["parent_id"] == root.context.span_id
+        assert starts["via-ctx"]["trace_id"] == root.context.trace_id
+
+    def test_bad_parent_type_raises(self):
+        obs = traced_obs()
+        with pytest.raises(TypeError):
+            obs.span("x", parent="s000001")
+
+    def test_propagated_context_parents_scheduled_work(self):
+        # The scheduler carrier: push a context, open a span, pop.
+        obs = traced_obs()
+        ctx = SpanContext("t0042", "s000042")
+        obs.push_span_context(ctx)
+        try:
+            obs.span("carried").end()
+        finally:
+            obs.pop_span_context()
+        start = span_events(obs)[0]
+        assert start["parent_id"] == "s000042"
+        assert start["trace_id"] == "t0042"
+
+
+class TestLifecycle:
+    def test_end_forces_start_first(self):
+        obs = traced_obs()
+        obs.span("lazy").end(t=3.0, outcome="done")
+        events = span_events(obs)
+        assert [e["kind"] for e in events] == ["span.start", "span.end"]
+        assert events[1]["outcome"] == "done"
+        assert events[1]["t"] == 3.0
+
+    def test_start_and_end_are_idempotent(self):
+        obs = traced_obs()
+        span = obs.span("once")
+        span.start().start()
+        span.end()
+        span.end()
+        assert len(span_events(obs)) == 2
+
+    def test_annotations_land_on_the_end_event(self):
+        obs = traced_obs()
+        span = obs.span("annotated")
+        span.annotate(members=3)
+        span.end(tunnels=2)
+        end = span_events(obs)[-1]
+        assert end["members"] == 3
+        assert end["tunnels"] == 2
+
+    def test_exception_inside_with_block_annotates_and_ends(self):
+        obs = traced_obs()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        end = span_events(obs)[-1]
+        assert end["kind"] == "span.end"
+        assert end["error"] == "ValueError"
+
+    def test_disabled_handle_returns_the_shared_null_span(self):
+        obs = Observability.disabled()
+        span = obs.span("nope", parent=None)
+        assert span is NULL_SPAN
+        assert span.context is None
+        with span:
+            span.annotate(x=1)
+        span.end()
+
+    def test_null_span_as_parent_starts_a_new_trace(self):
+        # A disabled subsystem handing its NULL_SPAN downstream must not
+        # corrupt an enabled handle: context is None -> new root.
+        obs = traced_obs()
+        obs.span("root", parent=NULL_SPAN).end()
+        start = span_events(obs)[0]
+        assert "parent_id" not in start
+
+
+class TestValidator:
+    def test_clean_stream_validates(self):
+        obs = traced_obs()
+        with obs.span("outer"):
+            obs.span("inner").end()
+        obs.close()
+        assert validate_span_events(obs.tracer.events()) == []
+
+    def test_unclosed_spans_are_legal(self):
+        obs = traced_obs()
+        obs.span("holddown").start()
+        obs.close()
+        assert validate_span_events(obs.tracer.events()) == []
+
+    def test_orphan_parent_is_reported(self):
+        events = [{"kind": "span.start", "name": "x", "span_id": "s000002",
+                   "trace_id": "t0001", "parent_id": "s000001"}]
+        problems = validate_span_events(events)
+        assert any("orphan parent_id" in p for p in problems)
+
+    def test_end_without_start_is_reported(self):
+        events = [{"kind": "span.end", "name": "x", "span_id": "s000001",
+                   "trace_id": "t0001"}]
+        problems = validate_span_events(events)
+        assert any("without a matching span.start" in p for p in problems)
+
+    def test_duplicate_start_and_end_are_reported(self):
+        start = {"kind": "span.start", "name": "x", "span_id": "s000001",
+                 "trace_id": "t0001"}
+        end = {"kind": "span.end", "name": "x", "span_id": "s000001",
+               "trace_id": "t0001"}
+        problems = validate_span_events([start, start, end, end])
+        assert any("duplicate span.start" in p for p in problems)
+        assert any("duplicate span.end" in p for p in problems)
+
+    def test_trace_id_mismatch_with_parent_is_reported(self):
+        events = [
+            {"kind": "span.start", "name": "a", "span_id": "s000001",
+             "trace_id": "t0001"},
+            {"kind": "span.start", "name": "b", "span_id": "s000002",
+             "trace_id": "t0002", "parent_id": "s000001"},
+        ]
+        problems = validate_span_events(events)
+        assert any("trace_id" in p for p in problems)
+
+    def test_validate_span_lines_skips_non_json(self):
+        obs = traced_obs()
+        obs.span("ok").end()
+        obs.close()
+        lines = ["not json"] + obs.tracer.lines()
+        assert validate_span_lines(lines) == []
+
+    def test_validate_spans_streams_a_file(self, tmp_path):
+        obs = traced_obs()
+        with obs.span("outer"):
+            obs.span("inner").end()
+        obs.close()
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(obs.tracer.lines()) + "\n",
+                        encoding="utf-8")
+        assert validate_spans(str(path)) == []
+
+    def test_span_events_are_json_lines(self):
+        obs = traced_obs()
+        with obs.span("outer", epoch=0):
+            pass
+        obs.close()
+        for line in obs.tracer.lines():
+            json.loads(line)

@@ -63,6 +63,73 @@ class TestFileTracer:
             tracer.lines()
 
 
+class TestDurableClose:
+    def test_failed_footer_write_still_closes_the_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path, context={"seed": 0})
+        tracer.emit("e", t=0.0)
+        fh = tracer._fh
+        original_write = tracer._write
+
+        def failing_write(record):
+            raise OSError("disk full")
+
+        tracer._write = failing_write
+        with pytest.raises(OSError):
+            tracer.close()
+        assert fh.closed
+        assert tracer._fh is None
+        # close() is idempotent even after the failure.
+        tracer._write = original_write
+        tracer.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path, context={"seed": 0})
+        tracer.close()
+        tracer.close()
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == [RUN_START,
+                                                                RUN_END]
+
+
+class TestStreamingValidation:
+    def test_validate_trace_streams_from_the_file_handle(self, tmp_path):
+        # validate_trace consumes the open handle line by line; feeding
+        # it a generator (not a materialized list) must work because
+        # that is exactly what a file handle is.
+        path = tmp_path / "trace.jsonl"
+        with Tracer(str(path), context={"seed": 1}) as tracer:
+            for n in range(100):
+                tracer.emit("e", t=float(n))
+        assert validate_trace(str(path)) == []
+
+        def one_shot_lines():
+            with path.open(encoding="utf-8") as fh:
+                for line in fh:
+                    yield line
+
+        assert validate_trace_lines(one_shot_lines()) == []
+
+    def test_unknown_schema_is_rejected(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {},
+                             "schema": "repro.trace/v99"})]
+        errors = validate_trace_lines(lines)
+        assert any("unknown trace schema" in error for error in errors)
+
+    def test_v1_streams_without_schema_field_still_validate(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {}}),
+                 json.dumps({"kind": RUN_END, "seq": 1, "events": 0})]
+        assert validate_trace_lines(lines) == []
+
+    def test_span_events_need_string_ids(self):
+        lines = [json.dumps({"kind": RUN_START, "seq": 0, "context": {}}),
+                 json.dumps({"kind": "span.start", "seq": 1, "name": "x",
+                             "span_id": 7, "trace_id": "t0001"})]
+        errors = validate_trace_lines(lines)
+        assert any("span_id" in error for error in errors)
+
+
 class TestValidation:
     def test_rejects_bad_json(self):
         assert validate_trace_lines(["not json"])
