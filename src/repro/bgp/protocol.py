@@ -96,8 +96,13 @@ class BgpProtocol:
         self.obs = get_obs()
         self._c_announcements = self.obs.counter("bgp.announcements")
         self._c_withdrawals = self.obs.counter("bgp.withdrawals")
+        # Default-routed domains (scale-tier stubs) do not speak BGP:
+        # they get no speaker, originate nothing, and — because _send
+        # drops updates to unknown speakers — receive nothing.  Their
+        # reachability rides on static routes (repro.topogen.scale).
         self.speakers: Dict[int, BgpSpeaker] = {
-            asn: BgpSpeaker(domain) for asn, domain in network.domains.items()}
+            asn: BgpSpeaker(domain) for asn, domain in network.domains.items()
+            if not domain.default_routed}
         #: Sessions torn down by resync, awaiting physical restoration.
         self._down_sessions: Set[Tuple[int, int]] = set()
         #: Speakers whose every router is crashed (fault injection).
@@ -114,6 +119,9 @@ class BgpProtocol:
         """Register a domain added after protocol construction."""
         if domain.asn in self.speakers:
             raise RoutingError(f"speaker for AS{domain.asn} already exists")
+        if domain.default_routed:
+            raise RoutingError(
+                f"AS{domain.asn} is default-routed; it does not speak BGP")
         speaker = BgpSpeaker(domain)
         self.speakers[domain.asn] = speaker
         return speaker
@@ -214,8 +222,8 @@ class BgpProtocol:
 
     # -- lifecycle --------------------------------------------------------------------
     def originate_domain_prefixes(self) -> None:
-        """Every domain announces its own address block."""
-        for asn in sorted(self.network.domains):
+        """Every BGP-speaking domain announces its own address block."""
+        for asn in sorted(self.speakers):
             self.originate(asn, self.network.domains[asn].prefix)
 
     def start(self) -> None:

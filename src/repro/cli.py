@@ -20,8 +20,10 @@ Runs the library's headline experiments from the shell:
   iteration-order, obs-guard, and public-API rules (D1–D5);
 * ``bench`` — run the seeded perf-trajectory workload matrix
   (:mod:`repro.perf.bench`) cached and uncached, write the
-  ``repro.bench/v1`` JSON, and fail unless cached Dijkstra work shrank
-  with bit-identical experiment metrics.
+  ``repro.bench/v2`` JSON, and fail unless cached Dijkstra work shrank
+  with bit-identical experiment metrics; ``--scale-sweep`` instead
+  sweeps the topology-size axis (:mod:`repro.perf.scale_bench`),
+  fast path on vs. off on power-law internets.
 
 Every command is seeded and deterministic; ``--save``/``--load`` move
 topologies through the JSON format in :mod:`repro.net.serialize`; all
@@ -427,23 +429,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Run the perf workload matrix and write ``BENCH_*.json``.
+    """Run the perf workload matrix (or the ``--scale-sweep`` size axis)
+    and write ``BENCH_*.json``.
 
-    Exit status 0 requires (a) a schema-valid document, (b) bit-identical
-    cached/uncached experiment metrics for every workload, and (c) fewer
-    total Dijkstra runs cached than uncached.  Wall seconds are recorded
-    for trajectory plots but never gated on.
+    Matrix mode: exit status 0 requires (a) a schema-valid document,
+    (b) bit-identical cached/uncached experiment metrics for every
+    workload, and (c) fewer total Dijkstra runs cached than uncached.
+    Sweep mode: (a) plus bit-identical fast-path-on/off delivery
+    metrics for every cell.  Wall seconds and speedups are recorded
+    for trajectory plots but never gated on (no timing thresholds).
     """
     import json
 
-    from repro.perf.bench import run_bench, validate_bench_dict, write_bench
+    from repro.perf.bench import (DEFAULT_BENCH_PATH, run_bench,
+                                  validate_bench_dict, write_bench)
+
+    if args.scale_sweep:
+        from repro.perf.scale_bench import DEFAULT_SWEEP_PATH, run_sweep
+
+        doc = run_sweep(seed=args.seed, quick=args.quick)
+        path = write_bench(doc, args.out or DEFAULT_SWEEP_PATH)
+        errors = validate_bench_dict(doc)
+        totals: dict = doc["totals"]  # type: ignore[assignment]
+        if not totals["identical_metrics"]:
+            errors.append(
+                "fast-path delivery metrics diverged from the slow path")
+        status = {"ok": not errors, "out": path,
+                  "identical_metrics": totals["identical_metrics"],
+                  "speedups": {str(cell["routers_requested"]):
+                               round(float(cell["speedup"]), 2)  # type: ignore[arg-type]
+                               for cell in doc["cells"]}}  # type: ignore[union-attr]
+        if errors:
+            status["errors"] = errors[:10]
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if not errors else 1
 
     doc = run_bench(seed=args.seed, quick=args.quick)
-    path = write_bench(doc, args.out)
+    path = write_bench(doc, args.out or DEFAULT_BENCH_PATH)
     errors = validate_bench_dict(doc)
-    totals: dict = doc["totals"]  # type: ignore[assignment]
-    runs: dict = totals["dijkstra_runs"]
-    if not totals["identical_metrics"]:
+    matrix_totals: dict = doc["totals"]  # type: ignore[assignment]
+    runs: dict = matrix_totals["dijkstra_runs"]
+    if not matrix_totals["identical_metrics"]:
         errors.append("cached metrics diverged from the uncached baseline")
     if not runs["cached"] < runs["uncached"]:
         errors.append(
@@ -451,7 +477,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{runs['uncached']} uncached)")
     status = {"ok": not errors, "out": path,
               "dijkstra_runs": runs,
-              "identical_metrics": totals["identical_metrics"]}
+              "identical_metrics": matrix_totals["identical_metrics"]}
     if errors:
         status["errors"] = errors[:10]
     print(json.dumps(status, indent=2, sort_keys=True))
@@ -572,14 +598,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(func=cmd_lint)
 
     p_bench = sub.add_parser(
-        "bench", help="run the perf workload matrix (repro.bench/v1)")
+        "bench", help="run the perf workload matrix or topology-size "
+                      "sweep (repro.bench/v2)")
     p_bench.add_argument("--quick", action="store_true",
                          help="small topology / fewer samples (CI smoke)")
+    p_bench.add_argument("--scale-sweep", action="store_true",
+                         help="sweep the topology-size axis instead of the "
+                              "workload matrix: fast-path on vs. off on "
+                              "power-law internets (repro.topogen.scale)")
     p_bench.add_argument("--seed", type=int, default=42,
                          help="workload seed (the matrix is a pure "
                               "function of it)")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_PR4.json",
-                         help="where to write the JSON document")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="where to write the JSON document (default: "
+                              "BENCH_PR6.json, or BENCH_SCALE_PR6.json "
+                              "with --scale-sweep)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -95,10 +95,25 @@ class FaultInjector:
                 "(fault application is stateful and not idempotent)")
         self._played = True
         scheduler = self.orchestrator.scheduler
-        obs = self.orchestrator.obs
         if not self.orchestrator._converged:  # noqa: SLF001 - injector drives lifecycle
             self.orchestrator.converge(max_events=max_events)
         start = scheduler.now
+        # While faults are active every packet must take the slow path:
+        # transient (pre-reconvergence) walks are measurement, not
+        # repeat traffic, and must never be replayed from cache.
+        fastpath = self.orchestrator.engine.fastpath
+        fastpath.pause()
+        try:
+            reports = self._play_epochs(workload, max_events, start)
+        finally:
+            fastpath.resume()
+        self.epoch_reports = reports
+        return reports
+
+    def _play_epochs(self, workload: Optional[Workload], max_events: int,
+                     start: float) -> List[FaultEpochReport]:
+        scheduler = self.orchestrator.scheduler
+        obs = self.orchestrator.obs
         reports: List[FaultEpochReport] = []
         for epoch_index, (time, events) in enumerate(self.plan.epochs()):
             target = start + time
@@ -154,7 +169,6 @@ class FaultInjector:
                           reconverged_at=report.reconverged_at,
                           reconvergence_time=report.reconvergence_time,
                           events_processed=report.events_processed)
-        self.epoch_reports = reports
         return reports
 
     # -- fault application -----------------------------------------------------

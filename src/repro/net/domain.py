@@ -59,6 +59,12 @@ class Domain:
     #: policy permits propagating non-aggregatable anycast prefixes.
     propagates_anycast: bool = True
     tier: int = 2
+    #: Scale-tier stubs: this AS does not speak BGP.  Its address block
+    #: is a provider-assigned sub-block of its provider's aggregate, it
+    #: points a static default route at the provider, and the provider
+    #: carries a static route for the sub-block (see
+    #: :mod:`repro.topogen.scale`).
+    default_routed: bool = False
 
     def __post_init__(self) -> None:
         if self.asn <= 0:

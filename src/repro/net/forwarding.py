@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 from repro.net.address import IPv4Address
 from repro.net.errors import (FaultDropError, ForwardingLoopError, NoRouteError,
                               TTLExpiredError)
+from repro.net.fastpath import FlowFastPath
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import IPv4Header, Packet, VNHeader
@@ -292,6 +293,10 @@ class ForwardingEngine:
         #: Optional sim-clock callable so forwarding spans/events carry
         #: simulation time (the orchestrator wires its scheduler in).
         self.clock = clock
+        #: Flow-level fast path: replays delivered pure-IPv4 walks for
+        #: repeat packets of a flow while forwarding state is quiescent
+        #: (see :mod:`repro.net.fastpath` for the invalidation rules).
+        self.fastpath = FlowFastPath(network)
         self._outcome_counters: Dict[Outcome, object] = {
             outcome: self.obs.counter(f"forwarding.outcome.{outcome.value}")
             for outcome in Outcome}
@@ -313,10 +318,24 @@ class ForwardingEngine:
         (e.g. a fault-epoch workload), and stamped onto the packet for
         downstream causality.  Disabled handles skip all of it behind
         the usual one ``enabled`` check.
+
+        When the flow fast path is active and this packet repeats a
+        cached flow (same start, identical pure-IPv4 header, quiescent
+        forwarding state), the memoized trace is returned immediately:
+        no walk, no per-packet span — the fast path records a per-flow
+        packet count instead (:attr:`FlowFastPath.flow_counts`).
         """
+        key = self.fastpath.key_for(packet, start) if self.fastpath.active \
+            else None
+        if key is not None:
+            cached = self.fastpath.lookup(key)
+            if cached is not None:
+                return cached
         trace = ForwardingTrace()
         if not self.obs.enabled:
             self._walk(packet, self.network.node(start), trace, strict, None)
+            if key is not None:
+                self.fastpath.store(key, trace)
             return trace
         t = self.clock() if self.clock is not None else None
         span = self.obs.span("forward", t=t, parent=packet.span, start=start)
@@ -326,6 +345,8 @@ class ForwardingEngine:
             self._walk(packet, self.network.node(start), trace, strict, None)
             span.end(t=t, **self._span_fields(trace))
         self._observe_trace(trace, start)
+        if key is not None:
+            self.fastpath.store(key, trace)
         return trace
 
     @staticmethod

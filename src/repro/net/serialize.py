@@ -36,6 +36,7 @@ def network_to_dict(network: Network) -> Dict:
             "prefix": str(domain.prefix),
             "tier": domain.tier,
             "propagates_anycast": domain.propagates_anycast,
+            "default_routed": domain.default_routed,
             "relationships": relationships,
         })
     routers = []
@@ -72,7 +73,9 @@ def network_from_dict(data: Dict) -> Network:
         network.add_domain(Domain(asn=record["asn"], name=record["name"],
                                   prefix=Prefix.parse(record["prefix"]),
                                   propagates_anycast=record["propagates_anycast"],
-                                  tier=record["tier"]))
+                                  tier=record["tier"],
+                                  default_routed=record.get(
+                                      "default_routed", False)))
     for record in data["routers"]:
         network.add_router(record["id"], record["asn"],
                            is_border=record["is_border"],

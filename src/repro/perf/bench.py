@@ -10,14 +10,16 @@ cache hit rates, plus the correctness bit that matters most:
 ``identical_metrics`` — the canonical JSON form of each workload's
 experiment output must be bit-identical between the two legs.
 
-The output schema is ``repro.bench/v1``::
+The output schema is ``repro.bench/v2`` with ``"mode": "matrix"``::
 
     {
-      "schema": "repro.bench/v1",
+      "schema": "repro.bench/v2",
+      "mode": "matrix",
       "seed": 42,
       "quick": false,
       "workloads": {
         "<name>": {
+          "params": {"n_tier1": int, ..., "sample": int, ...},
           "wall_seconds":  {"cached": float, "uncached": float},
           "dijkstra_runs": {"cached": int,   "uncached": int},
           "spf_runs":      {"cached": int,   "uncached": int},
@@ -31,6 +33,13 @@ The output schema is ``repro.bench/v1``::
                   "wall_seconds":  {"cached": float, "uncached": float},
                   "identical_metrics": bool}
     }
+
+``params`` stamps the resolved topology dimensions and workload sizing
+knobs into each entry, so a ``--quick`` artifact is self-describing
+and never silently compared against a full-size run.  The other
+``repro.bench/v2`` mode is ``"scale_sweep"``
+(:mod:`repro.perf.scale_bench`); :func:`validate_bench_dict` handles
+both, plus legacy ``repro.bench/v1`` documents.
 
 ``wall_seconds`` is the only nondeterministic field (hence the
 ``wall_`` prefix, per the tracing convention); everything else is a
@@ -57,15 +66,47 @@ from repro.topogen.hierarchy import InternetSpec
 from repro.vnbone.multicast import enable_multicast
 
 #: The emitted document's schema tag.
-BENCH_SCHEMA = "repro.bench/v1"
+BENCH_SCHEMA = "repro.bench/v2"
+#: Legacy schema still accepted by :func:`validate_bench_dict`.
+BENCH_SCHEMA_V1 = "repro.bench/v1"
+#: The two ``repro.bench/v2`` document modes.
+BENCH_MODES = ("matrix", "scale_sweep")
 #: Default output path (PR-stamped so the repo accumulates a trajectory).
-DEFAULT_BENCH_PATH = "BENCH_PR4.json"
+DEFAULT_BENCH_PATH = "BENCH_PR6.json"
 #: Default workload seed.
 DEFAULT_SEED = 42
 
 #: A workload builds a scenario from scratch and returns its JSON-safe
 #: experiment payload.  It must be a pure function of (seed, quick).
 WorkloadFn = Callable[[int, bool], object]
+
+
+#: Per-workload sizing knobs, quick vs. full.  Workloads read their
+#: sizes here and :func:`workload_params` stamps the resolved values
+#: into each emitted entry — the artifact records what actually ran,
+#: not just a shared workload name (a ``--quick`` document used to be
+#: indistinguishable from a full one below the top-level flag).
+WORKLOAD_SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
+    "converge": {"quick": {}, "full": {}},
+    "reachability_sweep": {"quick": {"sample": 30, "adoption_stages": 2},
+                           "full": {"sample": 120, "adoption_stages": 4}},
+    "fault_epoch": {"quick": {"sample": 20}, "full": {"sample": 60}},
+    "multicast_fanout": {"quick": {"receivers": 4}, "full": {"receivers": 8}},
+}
+
+
+def _sizes(name: str, quick: bool) -> Dict[str, int]:
+    return WORKLOAD_SIZES[name]["quick" if quick else "full"]
+
+
+def workload_params(name: str, seed: int, quick: bool) -> Dict[str, int]:
+    """The resolved sizing of one workload run: topology dimensions
+    plus the workload's own knobs from :data:`WORKLOAD_SIZES`."""
+    spec = _spec(seed, quick)
+    params = {"n_tier1": spec.n_tier1, "n_tier2": spec.n_tier2,
+              "n_stub": spec.n_stub}
+    params.update(_sizes(name, quick))
+    return params
 
 
 def _spec(seed: int, quick: bool) -> InternetSpec:
@@ -102,12 +143,13 @@ def workload_converge(seed: int, quick: bool) -> object:
 
 def workload_reachability_sweep(seed: int, quick: bool) -> object:
     """Staged adoption sweep, measuring IPv8 reachability per stage."""
-    sample = 30 if quick else 120
+    sizes = _sizes("reachability_sweep", quick)
+    sample = sizes["sample"]
     internet, deployment = _deployed_internet(seed, quick)
     stages = [internet.reachability(8, sample=sample, seed=seed).to_dict()]
     remaining = [asn for asn in internet.stub_asns()
                  if asn not in deployment.adopting_asns()]
-    for asn in remaining[:2 if quick else 4]:
+    for asn in remaining[:sizes["adoption_stages"]]:
         deployment.deploy(asn)
         deployment.rebuild()
         stages.append(
@@ -119,7 +161,7 @@ def workload_reachability_sweep(seed: int, quick: bool) -> object:
 
 def workload_fault_epoch(seed: int, quick: bool) -> object:
     """Crash/recover a vN-Bone member under a reachability workload."""
-    sample = 20 if quick else 60
+    sample = _sizes("fault_epoch", quick)["sample"]
     internet, deployment = _deployed_internet(seed, quick)
     members = sorted(deployment.states)
     victim = members[1] if len(members) > 1 else members[0]
@@ -140,7 +182,7 @@ def workload_multicast_fanout(seed: int, quick: bool) -> object:
     service = enable_multicast(deployment)
     group = service.create_group()
     hosts = internet.hosts()
-    receivers = hosts[1:5] if quick else hosts[1:9]
+    receivers = hosts[1:1 + _sizes("multicast_fanout", quick)["receivers"]]
     for host_id in receivers:
         service.join(group, host_id)
     service.rebuild()
@@ -232,6 +274,7 @@ def run_bench(seed: int = DEFAULT_SEED, quick: bool = False
         cached_leg = run_leg(workload, seed, quick, cached=True)
         uncached_leg = run_leg(workload, seed, quick, cached=False)
         entry = _workload_entry(cached_leg, uncached_leg)
+        entry["params"] = workload_params(name, seed, quick)
         workloads[name] = entry
         total_cached += cached_leg.counter("perf.dijkstra_runs")
         total_uncached += uncached_leg.counter("perf.dijkstra_runs")
@@ -240,6 +283,7 @@ def run_bench(seed: int = DEFAULT_SEED, quick: bool = False
         all_identical = all_identical and bool(entry["identical_metrics"])
     return {
         "schema": BENCH_SCHEMA,
+        "mode": "matrix",
         "seed": seed,
         "quick": quick,
         "workloads": workloads,
@@ -258,12 +302,12 @@ _PAIR_KEYS = ("cached", "uncached")
 
 
 def _check_pair(errors: List[str], where: str, value: object,
-                kind: type) -> None:
+                kind: type, keys: Tuple[str, ...] = _PAIR_KEYS) -> None:
     if not isinstance(value, dict):
         errors.append(f"{where}: expected object, got {type(value).__name__}")
         return
     accepted = (int, float) if kind is float else (kind,)
-    for key in _PAIR_KEYS:
+    for key in keys:
         if key not in value:
             errors.append(f"{where}.{key}: missing")
         elif not isinstance(value[key], accepted) or isinstance(value[key], bool):
@@ -271,17 +315,41 @@ def _check_pair(errors: List[str], where: str, value: object,
 
 
 def validate_bench_dict(doc: object) -> List[str]:
-    """Validate a ``repro.bench/v1`` document; returns error strings."""
+    """Validate a bench document; returns error strings.
+
+    Accepts ``repro.bench/v2`` in both modes (``matrix`` from
+    :func:`run_bench`, ``scale_sweep`` from
+    :func:`repro.perf.scale_bench.run_sweep`) and legacy
+    ``repro.bench/v1`` documents (a v2 matrix without ``mode`` or
+    per-workload ``params``).
+    """
     errors: List[str] = []
     if not isinstance(doc, dict):
         return [f"document: expected object, got {type(doc).__name__}"]
-    if doc.get("schema") != BENCH_SCHEMA:
-        errors.append(f"schema: expected {BENCH_SCHEMA!r}, "
-                      f"got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+        return [f"schema: expected {BENCH_SCHEMA!r} or {BENCH_SCHEMA_V1!r}, "
+                f"got {schema!r}"]
     if not isinstance(doc.get("seed"), int):
         errors.append("seed: expected int")
     if not isinstance(doc.get("quick"), bool):
         errors.append("quick: expected bool")
+    if schema == BENCH_SCHEMA_V1:
+        _validate_matrix(errors, doc, require_params=False)
+        return errors
+    mode = doc.get("mode")
+    if mode not in BENCH_MODES:
+        errors.append(f"mode: expected one of {BENCH_MODES}, got {mode!r}")
+        return errors
+    if mode == "matrix":
+        _validate_matrix(errors, doc, require_params=True)
+    else:
+        _validate_sweep(errors, doc)
+    return errors
+
+
+def _validate_matrix(errors: List[str], doc: Dict[str, object],
+                     require_params: bool) -> None:
     workloads = doc.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         errors.append("workloads: expected non-empty object")
@@ -315,6 +383,13 @@ def validate_bench_dict(doc: object) -> List[str]:
                     f"{where}.{cache_key}.hit_rate: expected number in [0, 1]")
         if not isinstance(entry.get("identical_metrics"), bool):
             errors.append(f"{where}.identical_metrics: expected bool")
+        if require_params:
+            params = entry.get("params")
+            if not isinstance(params, dict):
+                errors.append(f"{where}.params: expected object")
+            elif not all(isinstance(value, int) and not isinstance(value, bool)
+                         for value in params.values()):
+                errors.append(f"{where}.params: expected int values")
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         errors.append("totals: expected object")
@@ -325,7 +400,66 @@ def validate_bench_dict(doc: object) -> List[str]:
                     totals.get("wall_seconds"), float)
         if not isinstance(totals.get("identical_metrics"), bool):
             errors.append("totals.identical_metrics: expected bool")
-    return errors
+
+
+_LEG_KEYS = ("fastpath", "slowpath")
+
+
+def _validate_sweep(errors: List[str], doc: Dict[str, object]) -> None:
+    """Checks for ``mode: "scale_sweep"`` (see :mod:`repro.perf.scale_bench`)."""
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: expected non-empty array")
+        cells = []
+    for index, cell in enumerate(cells):
+        where = f"cells[{index}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: expected object")
+            continue
+        for field_name in ("routers_requested", "routers_built", "ases"):
+            value = cell.get(field_name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{where}.{field_name}: expected int")
+        _check_pair(errors, f"{where}.wall_seconds",
+                    cell.get("wall_seconds"), float, keys=_LEG_KEYS)
+        speedup = cell.get("speedup")
+        if (not isinstance(speedup, (int, float)) or isinstance(speedup, bool)
+                or float(speedup) < 0.0):
+            errors.append(f"{where}.speedup: expected non-negative number")
+        params = cell.get("params")
+        if not isinstance(params, dict) or not all(
+                isinstance(value, int) and not isinstance(value, bool)
+                for value in params.values()):
+            errors.append(f"{where}.params: expected object of ints")
+        fastpath = cell.get("fastpath")
+        if not isinstance(fastpath, dict):
+            errors.append(f"{where}.fastpath: expected object")
+        else:
+            for field_name in ("hits", "misses", "flows",
+                               "packets_aggregated"):
+                value = fastpath.get(field_name)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(
+                        f"{where}.fastpath.{field_name}: expected int")
+        delivery = cell.get("delivery")
+        if not isinstance(delivery, dict):
+            errors.append(f"{where}.delivery: expected object")
+        else:
+            for field_name in ("attempted", "delivered"):
+                value = delivery.get(field_name)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(
+                        f"{where}.delivery.{field_name}: expected int")
+        if not isinstance(cell.get("identical_metrics"), bool):
+            errors.append(f"{where}.identical_metrics: expected bool")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("totals: expected object")
+    else:
+        _check_pair(errors, "totals.wall_seconds",
+                    totals.get("wall_seconds"), float, keys=_LEG_KEYS)
+        if not isinstance(totals.get("identical_metrics"), bool):
+            errors.append("totals.identical_metrics: expected bool")
 
 
 def write_bench(doc: Dict[str, object],

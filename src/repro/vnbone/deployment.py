@@ -136,6 +136,9 @@ class VnDeployment:
             self._make_member(router_id, asn)
         self.plan.relabel_domain(asn)
         self._dirty = True
+        # New members accept the anycast address immediately: cached
+        # flow-level walks to it are stale.
+        self.orchestrator.engine.fastpath.bump()
         return chosen
 
     def _make_member(self, router_id: str, asn: int) -> None:
@@ -157,6 +160,7 @@ class VnDeployment:
         for router_id in sorted(router_ids):
             self._make_member(router_id, asn)
         self._dirty = True
+        self.orchestrator.engine.fastpath.bump()
 
     def undeploy(self, asn: int) -> None:
         """Roll IPvN back in AS *asn* (churn experiments)."""
@@ -170,6 +174,7 @@ class VnDeployment:
         domain.undeploy_version(self.version)
         self.plan.relabel_domain(asn)
         self._dirty = True
+        self.orchestrator.engine.fastpath.bump()
 
     # -- control-plane rebuild ---------------------------------------------------------
     def rebuild(self) -> None:
@@ -223,6 +228,9 @@ class VnDeployment:
         else:
             self.routing.compute(self.states, entries)
         self._dirty = False
+        # Acceptance sets and vN routing changed after reconverge()'s
+        # bump: drop cached flow-level walks once more.
+        self.orchestrator.engine.fastpath.bump()
         span.end(t=self.orchestrator.scheduler.now, members=len(live),
                  tunnels=len(self.tunnels))
         if observed:

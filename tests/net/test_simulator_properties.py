@@ -133,3 +133,111 @@ class TestCancellationAndLiveCount:
         count = len(fired)
         sched.run_until_idle()
         assert len(fired) == count  # nothing re-fires
+
+
+# Interleavings for the two-implementation equivalence suite: schedule
+# with a delay drawn from a coarse grid (forcing same-timestamp ties and
+# bucket-boundary collisions), or cancel an issued handle by index.
+_tie_ops = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=40).map(lambda n: n * 0.5),
+        st.floats(min_value=0.0, max_value=20.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=200),
+    ),
+    max_size=60,
+)
+
+
+def _drive(queue_kind, ops, horizon=None):
+    """Run one op sequence on one queue implementation.
+
+    Returns the fired event indices in order plus the final clock, so
+    two implementations can be compared wholesale.
+    """
+    sched = EventScheduler(queue=queue_kind)
+    fired = []
+    handles = []
+    for op in ops:
+        if isinstance(op, float):
+            idx = len(handles)
+            handles.append(sched.schedule(op, lambda i=idx: fired.append(i)))
+        elif handles:
+            handles[op % len(handles)].cancel()
+    if horizon is None:
+        sched.run_until_idle()
+    else:
+        sched.run_until(horizon)
+    return fired, sched.now, len(sched)
+
+
+class TestCalendarHeapEquivalence:
+    """The calendar queue must be order-equivalent to the seed heap."""
+
+    @given(ops=_tie_ops)
+    def test_identical_fired_sequence(self, ops):
+        heap_run = _drive("heap", ops)
+        calendar_run = _drive("calendar", ops)
+        assert calendar_run == heap_run
+
+    @given(ops=_tie_ops,
+           horizon=st.floats(min_value=0.0, max_value=20.0,
+                             allow_nan=False, allow_infinity=False))
+    def test_identical_under_run_until(self, ops, horizon):
+        assert _drive("calendar", ops, horizon) == _drive("heap", ops, horizon)
+
+    @given(ops=_tie_ops,
+           width=st.sampled_from([0.1, 0.5, 1.0, 3.0, 100.0]))
+    def test_bucket_width_never_changes_order(self, ops, width):
+        sched = EventScheduler(queue="calendar", bucket_width=width)
+        fired = []
+        handles = []
+        for op in ops:
+            if isinstance(op, float):
+                idx = len(handles)
+                handles.append(
+                    sched.schedule(op, lambda i=idx: fired.append(i)))
+            elif handles:
+                handles[op % len(handles)].cancel()
+        sched.run_until_idle()
+        assert (fired, sched.now) == _drive("heap", ops)[:2]
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=6),
+                           min_size=1, max_size=40))
+    def test_same_timestamp_ties_break_by_insertion_seq(self, delays):
+        # Integer delays guarantee heavy timestamp collisions; both
+        # implementations must break ties by insertion sequence.
+        float_delays = [float(d) for d in delays]
+        heap_fired, _, _ = _drive("heap", float_delays)
+        calendar_fired, _, _ = _drive("calendar", float_delays)
+        expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+        assert heap_fired == expected
+        assert calendar_fired == expected
+
+    @given(ops=_tie_ops)
+    def test_nested_scheduling_stays_equivalent(self, ops):
+        # Events scheduled from inside callbacks land in the current
+        # bucket or later ones; the implementations must still agree.
+        def run(queue_kind):
+            sched = EventScheduler(queue=queue_kind)
+            fired = []
+
+            def make(idx, delay):
+                def callback():
+                    fired.append(idx)
+                    if delay > 0.25:
+                        sched.schedule(delay / 2.0,
+                                       lambda: fired.append(-idx - 1))
+                return callback
+
+            handles = []
+            for op in ops:
+                if isinstance(op, float):
+                    idx = len(handles)
+                    handles.append(sched.schedule(op, make(idx, op)))
+                elif handles:
+                    handles[op % len(handles)].cancel()
+            sched.run_until_idle()
+            return fired, sched.now
+
+        assert run("calendar") == run("heap")

@@ -5,8 +5,9 @@ import json
 
 import pytest
 
-from repro.perf.bench import (BENCH_SCHEMA, WORKLOADS, run_bench,
-                              validate_bench_dict, write_bench)
+from repro.perf.bench import (BENCH_SCHEMA, BENCH_SCHEMA_V1, WORKLOAD_SIZES,
+                              WORKLOADS, run_bench, validate_bench_dict,
+                              workload_params, write_bench)
 
 
 @pytest.fixture(scope="module")
@@ -17,7 +18,33 @@ def quick_doc():
 def test_quick_bench_is_schema_valid(quick_doc):
     assert validate_bench_dict(quick_doc) == []
     assert quick_doc["schema"] == BENCH_SCHEMA
+    assert quick_doc["mode"] == "matrix"
     assert list(quick_doc["workloads"]) == [name for name, _ in WORKLOADS]
+
+
+def test_entries_stamp_their_resolved_params(quick_doc):
+    """PR6 regression: a --quick artifact must say what sizes actually
+    ran, not just share workload names with the full run."""
+    for name, entry in quick_doc["workloads"].items():
+        assert entry["params"] == workload_params(name, 11, True)
+        # Topology dims are stamped everywhere; quick is the small spec.
+        assert entry["params"]["n_stub"] == 5
+    sweep = quick_doc["workloads"]["reachability_sweep"]["params"]
+    assert sweep["sample"] == WORKLOAD_SIZES["reachability_sweep"]["quick"]["sample"]
+    # Quick and full sizing must genuinely differ for sized workloads.
+    for name in ("reachability_sweep", "fault_epoch", "multicast_fanout"):
+        assert workload_params(name, 11, True) != workload_params(name, 11, False)
+
+
+def test_missing_params_fails_v2_but_passes_v1(quick_doc):
+    stripped = copy.deepcopy(quick_doc)
+    for entry in stripped["workloads"].values():
+        del entry["params"]
+    assert any("params" in e for e in validate_bench_dict(stripped))
+    legacy = copy.deepcopy(stripped)
+    legacy["schema"] = BENCH_SCHEMA_V1
+    del legacy["mode"]
+    assert validate_bench_dict(legacy) == []
 
 
 def test_quick_bench_shows_savings_and_identical_metrics(quick_doc):
