@@ -8,10 +8,15 @@ capture), and records wall-clock time via pytest-benchmark.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.core.orchestrator import Orchestrator
-from repro.topogen import InternetSpec, generate_internet
+# The topology builders are the experiment suite's: one definition of
+# "the default mid-size internetwork", shared by experiments, perf
+# workloads, and benchmarks alike.
+from repro.experiments.common import converged_internet, experiment_spec
+
+__all__ = ["bench_spec", "converged_internet", "drain_tables",
+           "emit_result", "emit_table", "run_workload"]
 
 
 #: Tables queued for the end-of-run summary (see benchmarks/conftest.py).
@@ -39,18 +44,23 @@ def emit_result(request, result) -> None:
     _TABLES.append([""] + result.table().splitlines())
 
 
-def converged_internet(spec: InternetSpec):
-    """Generate a tiered internetwork and converge its control planes."""
-    generated = generate_internet(spec)
-    orch = Orchestrator(generated.network, seed=spec.seed)
-    orch.converge()
-    return generated, orch
+def bench_spec(seed: int = 0, **overrides):
+    """The benchmarks' historical name for :func:`experiment_spec`."""
+    return experiment_spec(seed=seed, **overrides)
 
 
-def bench_spec(seed: int = 0, **overrides) -> InternetSpec:
-    """The default mid-size internetwork used by the sweep benchmarks."""
-    params = dict(n_tier1=3, n_tier2=6, n_stub=12, routers_tier1=5,
-                  routers_tier2=4, routers_stub=2, hosts_per_stub=2,
-                  seed=seed)
-    params.update(overrides)
-    return InternetSpec(**params)
+def run_workload(request, experiment_id: str, *,
+                 seed: Optional[int] = None,
+                 params: Optional[dict] = None):
+    """Run one registered workload and queue its table for the summary.
+
+    The registry-aware benchmark entry point: parameters validate
+    against the workload's declared schema before any work happens, so
+    a benchmark sweeping a knob that the workload no longer declares
+    fails loudly instead of silently ignoring it.
+    """
+    from repro.experiments import run
+
+    result = run(experiment_id, seed=seed, params=params)
+    emit_result(request, result)
+    return result

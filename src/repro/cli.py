@@ -23,7 +23,11 @@ Runs the library's headline experiments from the shell:
   ``repro.bench/v2`` JSON, and fail unless cached Dijkstra work shrank
   with bit-identical experiment metrics; ``--scale-sweep`` instead
   sweeps the topology-size axis (:mod:`repro.perf.scale_bench`),
-  fast path on vs. off on power-law internets.
+  fast path on vs. off on power-law internets;
+* ``fleet`` — fan a declarative ``repro.matrix/v1`` workload matrix
+  (:mod:`repro.fleet`) across worker processes and merge the per-cell
+  artifacts into one deterministic ``repro.fleet/v1`` report: the same
+  matrix yields byte-identical reports at any ``--workers`` count.
 
 Every command is seeded and deterministic; ``--save``/``--load`` move
 topologies through the JSON format in :mod:`repro.net.serialize`; all
@@ -484,6 +488,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if not errors else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Fan a workload matrix across worker processes and merge it.
+
+    Reads a ``repro.matrix/v1`` file, executes every cell (optionally
+    cached under ``--cache-dir`` and traced under ``--traces``), writes
+    the merged ``repro.fleet/v1`` report, and validates it.  Exit 0
+    means every cell succeeded and the report validates; failed cells
+    (isolated, never aborting the sweep) exit 1; a malformed matrix or
+    invocation exits 2.
+    """
+    import json
+
+    from repro.fleet import (FleetMatrix, run_fleet, validate_fleet_dict,
+                             write_fleet)
+    from repro.net.errors import FleetError
+
+    def progress(record: dict) -> None:
+        state = "ok" if record["ok"] else f"FAIL ({record['error']})"
+        print(f"fleet: {record['name']} {record['workload_id']} "
+              f"seed={record['seed']} params={record['params']} {state}",
+              file=sys.stderr)
+
+    try:
+        matrix = FleetMatrix.from_file(args.matrix)
+        doc = run_fleet(matrix, workers=args.workers,
+                        traces_dir=args.traces, cache_dir=args.cache_dir,
+                        progress=None if args.quiet else progress)
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_fleet_dict(doc)
+    write_fleet(doc, args.out)
+    totals: dict = doc["totals"]  # type: ignore[assignment]
+    status = {"ok": not errors and not totals["failed"], "out": args.out,
+              "spec_hash": doc["spec_hash"], "totals": totals}
+    if errors:
+        status["errors"] = errors[:10]
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status["ok"] else 1
+
+
 def cmd_adoption(args: argparse.Namespace) -> int:
     print(f"{'seed':>5} {'UA share':>9} {'walled share':>13}")
     for seed in range(args.seeds):
@@ -614,6 +659,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "BENCH_PR6.json, or BENCH_SCALE_PR6.json "
                               "with --scale-sweep)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="fan a workload matrix across worker processes "
+                      "(repro.fleet/v1)")
+    p_fleet.add_argument("--matrix", required=True, metavar="FILE",
+                         help="repro.matrix/v1 JSON file")
+    p_fleet.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default 1; the merged "
+                              "report is byte-identical at any count)")
+    p_fleet.add_argument("--out", metavar="FILE", default="FLEET.json",
+                         help="merged report path (default FLEET.json)")
+    p_fleet.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="resume cache keyed by the matrix spec hash")
+    p_fleet.add_argument("--traces", metavar="DIR", default=None,
+                         help="write one JSONL trace per cell here")
+    p_fleet.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress on stderr")
+    p_fleet.set_defaults(func=cmd_fleet)
     return parser
 
 

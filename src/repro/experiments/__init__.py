@@ -1,17 +1,24 @@
 """The experiment suite: every reproduced figure and claim, runnable.
 
-Importing this package populates the registry; use::
+Importing this package populates the workload-spec registry; use::
 
-    from repro.experiments import available, describe, run
+    from repro.experiments import all_specs, available, describe, run
 
-    print(available())          # ['E10', 'E11', ..., 'F1', ..., 'F4']
+    print(available())          # ['E10', 'E11', ..., 'F1', ..., 'bench_*']
     result = run("F1")
     print(result.table())
+
+Every entry is a declarative :class:`WorkloadSpec` — id, runner, typed
+param schema with defaults, tags, artifact schema — so the CLI, the
+bench harness, the benchmark suite, and the :mod:`repro.fleet` sweep
+engine all enumerate and validate workloads through this one surface.
 """
 
-from repro.experiments.base import (ExperimentInfo, ExperimentResult,
-                                    available, describe, register, run,
-                                    run_many)
+from repro.experiments.base import (EXPERIMENT_SCHEMA, ExperimentResult,
+                                    Param, RunOutcome, WorkloadSpec,
+                                    all_specs, available, describe,
+                                    format_error, get_spec, register, run,
+                                    run_many, validate_experiment_dict)
 
 # Importing the modules registers their experiments.
 from repro.experiments import figures  # noqa: F401  (F1-F4)
@@ -23,6 +30,11 @@ from repro.experiments import access_claims  # noqa: F401  (E10, E13a, E13b)
 from repro.experiments import igp_claims  # noqa: F401  (E11)
 from repro.experiments import service_claims  # noqa: F401  (E12a/b, E16)
 from repro.experiments import resilience_claims  # noqa: F401  (E17)
+# The perf-bench workloads register under bench_* so the fleet and the
+# CLI can sweep them through the same registry.
+from repro.perf import bench as _bench  # noqa: F401  (bench_*)
 
-__all__ = ["ExperimentInfo", "ExperimentResult", "available", "describe",
-           "register", "run", "run_many"]
+__all__ = ["EXPERIMENT_SCHEMA", "ExperimentResult", "Param", "RunOutcome",
+           "WorkloadSpec", "all_specs", "available", "describe",
+           "format_error", "get_spec", "register", "run", "run_many",
+           "validate_experiment_dict"]

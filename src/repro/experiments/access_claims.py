@@ -4,22 +4,24 @@ from __future__ import annotations
 
 import statistics
 
+from typing import Dict, Optional
+
 from repro.anycast import DefaultRootedAnycast, GlobalAnycast
 from repro.core.evolution import EvolvableInternet
 from repro.core.metrics import measure_reachability, vn_tail_length
 from repro.topogen import InternetSpec
 from repro.vnbone import EgressPolicy, adoption_rng
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentResult, Param, register
 from repro.experiments.common import converged_internet, experiment_spec
 
 E10_ADOPTION_STEPS = [1, 3, 6, 10]
 E13_SIZES = [(2, 4, 8), (3, 6, 12), (4, 8, 20)]
 
 
-def _run_policy(policy):
+def _run_policy(policy, seed, sample):
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, hosts_per_stub=2,
-                     seed=23))
+                     seed=seed))
     deployment = internet.new_deployment(version=8, scheme="default",
                                          egress_policy=policy)
     # Core-first adoption (the shape Figure 1 narrates).
@@ -27,7 +29,7 @@ def _run_policy(policy):
     order += [asn for asn in sorted(internet.network.domains)
               if internet.network.domains[asn].tier == 2]
     order += [asn for asn in internet.stub_asns() if asn not in order]
-    pairs = internet.host_pairs(sample=50, seed=2)
+    pairs = internet.host_pairs(sample=sample, seed=2)
     rows = []
     adopted = 0
     for target in E10_ADOPTION_STEPS:
@@ -48,9 +50,15 @@ def _run_policy(policy):
     return rows
 
 
-@register("E10", "universal access vs deployment spread (A1 partial)")
-def run_universal_access() -> ExperimentResult:
-    data = {policy.value: _run_policy(policy)
+@register("E10", "universal access vs deployment spread (A1 partial)",
+          params={"sample": Param("int", 50, "host pairs per stage")},
+          tags=("claim", "access"))
+def run_universal_access(seed: int = 23,
+                         params: Optional[Dict[str, object]] = None
+                         ) -> ExperimentResult:
+    params = dict(params or {})
+    sample = int(params.get("sample", 50))
+    data = {policy.value: _run_policy(policy, seed, sample)
             for policy in (EgressPolicy.EXIT_IMMEDIATELY,
                            EgressPolicy.BGP_INFORMED)}
     naive = data["exit-immediately"]
@@ -68,14 +76,18 @@ def run_universal_access() -> ExperimentResult:
               "(50% of each adopter's routers, A1)",
         header=header, rows=rows, data=data,
         footer="paper: access is total from one adopter on; quality "
-               "improves with spread; BGPv(N-1) egress shortens tails")
+               "improves with spread; BGPv(N-1) egress shortens tails",
+        seed=seed, params=params)
 
 
-@register("E13a", "cold-start convergence cost vs topology size")
-def run_cold_start() -> ExperimentResult:
+@register("E13a", "cold-start convergence cost vs topology size",
+          params={}, tags=("claim", "cost"))
+def run_cold_start(seed: int = 61,
+                   params: Optional[Dict[str, object]] = None
+                   ) -> ExperimentResult:
     data = []
     for n_tier1, n_tier2, n_stub in E13_SIZES:
-        spec = experiment_spec(seed=61, n_tier1=n_tier1, n_tier2=n_tier2,
+        spec = experiment_spec(seed=seed, n_tier1=n_tier1, n_tier2=n_tier2,
                                n_stub=n_stub)
         generated, orch = converged_internet(spec)
         totals = orch.message_totals()
@@ -94,14 +106,18 @@ def run_cold_start() -> ExperimentResult:
         experiment_id="E13a",
         title="E13a: cold-start convergence vs topology size",
         header=header, rows=rows, data=data,
-        footer="substrate sanity: cost grows with size, no blow-up")
+        footer="substrate sanity: cost grows with size, no blow-up",
+        seed=seed, params=dict(params or {}))
 
 
-@register("E13b", "control-plane cost of one ISP adopting IPvN")
-def run_adoption_cost() -> ExperimentResult:
+@register("E13b", "control-plane cost of one ISP adopting IPvN",
+          params={}, tags=("claim", "cost"))
+def run_adoption_cost(seed: int = 61,
+                      params: Optional[Dict[str, object]] = None
+                      ) -> ExperimentResult:
     data = []
     for scheme_name in ("option2", "option1"):
-        generated, orch = converged_internet(experiment_spec(seed=61))
+        generated, orch = converged_internet(experiment_spec(seed=seed))
         if scheme_name == "option2":
             scheme = DefaultRootedAnycast(orch, "a",
                                           default_asn=generated.tier1[0])
@@ -130,4 +146,5 @@ def run_adoption_cost() -> ExperimentResult:
         title="E13b: control-plane cost of ONE ISP adopting IPvN",
         header=header, rows=rows, data=data,
         footer="paper: option 2 keeps adoption local (zero BGP churn); "
-               "option 1 perturbs global BGP")
+               "option 1 perturbs global BGP",
+        seed=seed, params=dict(params or {}))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import statistics
 
+from typing import Dict, Optional
+
 from repro.anycast import DefaultRootedAnycast, GiaAnycast, GlobalAnycast
 from repro.trace import sources_for_probes
 from repro.experiments.base import ExperimentResult, register
@@ -33,22 +35,25 @@ def _deploy_groups(scheme_factory, orch, generated, count):
     return {"total": sum(totals.values()), "max_per_as": max(totals.values())}
 
 
-@register("E5", "routing-state scaling: option 1 vs option 2 vs GIA")
-def run_routing_state() -> ExperimentResult:
+@register("E5", "routing-state scaling: option 1 vs option 2 vs GIA",
+          params={}, tags=("claim", "anycast"))
+def run_routing_state(seed: int = 3,
+                      params: Optional[Dict[str, object]] = None
+                      ) -> ExperimentResult:
     data = []
     for count in E5_GROUP_COUNTS:
-        generated, orch = converged_internet(experiment_spec(seed=3))
+        generated, orch = converged_internet(experiment_spec(seed=seed))
         option1 = _deploy_groups(
             lambda i: GlobalAnycast(orch, f"g{i}"), orch, generated, count)
 
-        generated2, orch2 = converged_internet(experiment_spec(seed=3))
+        generated2, orch2 = converged_internet(experiment_spec(seed=seed))
         option2 = _deploy_groups(
             lambda i: DefaultRootedAnycast(
                 orch2, f"d{i}",
                 default_asn=generated2.tier1[i % len(generated2.tier1)]),
             orch2, generated2, count)
 
-        generated3, orch3 = converged_internet(experiment_spec(seed=3))
+        generated3, orch3 = converged_internet(experiment_spec(seed=seed))
         gia = _deploy_groups(
             lambda i: GiaAnycast(
                 orch3, f"a{i}", group_index=i,
@@ -70,7 +75,8 @@ def run_routing_state() -> ExperimentResult:
                f"deployments ({n_domains} ASes)"),
         header=header, rows=rows, data=data,
         footer="paper: opt1 state ~ groups x ASes; opt2 adds none; GIA "
-               "stays bounded")
+               "stays bounded",
+        seed=seed, params=dict(params or {}))
 
 
 def _adopters_for(generated, fraction):
@@ -99,21 +105,24 @@ def _measure_proximity(scheme, orch, adopters, advertise):
             "default_share": default_share}
 
 
-@register("E6", "anycast proximity stretch vs deployment fraction")
-def run_proximity() -> ExperimentResult:
+@register("E6", "anycast proximity stretch vs deployment fraction",
+          params={}, tags=("claim", "anycast"))
+def run_proximity(seed: int = 9,
+                  params: Optional[Dict[str, object]] = None
+                  ) -> ExperimentResult:
     data = []
     for fraction in E6_FRACTIONS:
-        generated, orch = converged_internet(experiment_spec(seed=9))
+        generated, orch = converged_internet(experiment_spec(seed=seed))
         adopters = _adopters_for(generated, fraction)
         opt1 = _measure_proximity(GlobalAnycast(orch, "o1"), orch, adopters,
                                   False)
 
-        generated2, orch2 = converged_internet(experiment_spec(seed=9))
+        generated2, orch2 = converged_internet(experiment_spec(seed=seed))
         opt2 = _measure_proximity(
             DefaultRootedAnycast(orch2, "o2", default_asn=generated2.tier1[0]),
             orch2, _adopters_for(generated2, fraction), False)
 
-        generated3, orch3 = converged_internet(experiment_spec(seed=9))
+        generated3, orch3 = converged_internet(experiment_spec(seed=seed))
         opt2adv = _measure_proximity(
             DefaultRootedAnycast(orch3, "o2a",
                                  default_asn=generated3.tier1[0]),
@@ -133,4 +142,5 @@ def run_proximity() -> ExperimentResult:
         title="E6: anycast proximity stretch vs deployment fraction",
         header=header, rows=rows, data=data,
         footer="paper: opt2 imperfect proximity, improving with spread and "
-               "peer advertising; default ISP over-weighted early")
+               "peer advertising; default ISP over-weighted early",
+        seed=seed, params=dict(params or {}))

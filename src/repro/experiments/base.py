@@ -1,48 +1,90 @@
-"""The experiment registry, result type, and run API.
+"""The workload-spec registry, result type, and run API.
 
-Every reproduced figure and claim is a callable registered here, so the
-full evaluation is available programmatically::
+Every reproduced figure, claim, and perf workload is a declarative
+:class:`WorkloadSpec` registered here: an id, a one-line description, a
+runner with the uniform ``runner(*, seed, params)`` signature, a typed
+parameter schema with defaults, a set of tags, and the schema tag of
+the artifact the runner emits.  The whole evaluation is therefore
+enumerable and validatable through one surface::
 
-    from repro.experiments import available, run
+    from repro.experiments import all_specs, run
 
-    for experiment_id in available():
-        result = run(experiment_id)
-        print(result.table())
+    for spec in all_specs():
+        errors = spec.validate_params(spec.default_params())
+        result = run(spec.workload_id)
 
-and from the shell (``python -m repro experiment F1``).  The benchmark
-suite (`benchmarks/`) wraps the same callables with pytest-benchmark
-timing and shape assertions.
+The same surface drives the shell (``python -m repro experiment F1``),
+the perf harness (:mod:`repro.perf.bench` registers its workloads under
+``bench_*`` tags), the benchmark suite (`benchmarks/`), and the
+multiprocess sweep engine (:mod:`repro.fleet`), which fans a parameter
+matrix over these specs across worker processes.
 
-Runners come in two signatures:
-
-* **new-style** — accepts ``seed`` and/or ``params`` keywords (or
-  ``**kwargs``); :func:`run` threads the caller's values through.
-* **zero-arg** (deprecated) — takes nothing.  Still runs, but passing
-  ``seed``/``params`` to one raises a :class:`DeprecationWarning` and
-  the values are dropped.
+Runners have exactly one signature shape: keyword-accessible ``seed``
+and ``params`` (each may carry a runner-chosen default).  The zero-arg
+runner style — and the ``DeprecationWarning`` shim that tolerated it —
+is gone; :func:`register` rejects runners that cannot accept both
+keywords.
 
 :func:`run` also drives the observability layer: pass an
 :class:`~repro.obs.Observability` and the runner executes under
 :func:`~repro.obs.observing`, so every scheduler/IGP/BGP/forwarding
 object the experiment constructs binds to it.  The returned
 :class:`ExperimentResult` then carries ``metrics`` (the registry
-snapshot) and ``trace_path``.
+snapshot) and ``trace_path``, and serializes to the versioned
+``repro.experiment/v1`` document (:func:`validate_experiment_dict`).
 """
 
 from __future__ import annotations
 
 import inspect
 import json
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Mapping,
+                    Optional, Tuple)
 
-from repro.net.errors import ReproError
+from repro.net.errors import ReproError, WorkloadError
 from repro.obs import Observability, observing
 from repro.obs.serialize import json_safe
 
-#: Keywords :func:`run` knows how to thread into a runner.
-_THREADABLE = ("seed", "params")
+#: Schema tag stamped into :meth:`ExperimentResult.to_dict` documents.
+EXPERIMENT_SCHEMA = "repro.experiment/v1"
+
+#: Keywords every registered runner must accept.
+_REQUIRED_KEYWORDS = ("seed", "params")
+
+#: Parameter kinds a :class:`Param` may declare, with the runtime types
+#: each accepts.  ``float`` accepts ints (JSON has one number type);
+#: ``bool`` is never accepted where a number is declared.
+PARAM_KINDS: Dict[str, Tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "str": (str,),
+}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared workload parameter: kind, default, description."""
+
+    kind: str
+    default: object
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise WorkloadError(
+                f"unknown param kind {self.kind!r}; "
+                f"expected one of {sorted(PARAM_KINDS)}")
+        if not self.accepts(self.default):
+            raise WorkloadError(
+                f"param default {self.default!r} is not a {self.kind}")
+
+    def accepts(self, value: object) -> bool:
+        accepted = PARAM_KINDS[self.kind]
+        if bool not in accepted and isinstance(value, bool):
+            return False
+        return isinstance(value, accepted)
 
 
 @dataclass
@@ -52,7 +94,7 @@ class ExperimentResult:
     ``metrics`` and ``trace_path`` are populated by :func:`run` when the
     experiment executes under an enabled
     :class:`~repro.obs.Observability`; ``seed`` and ``params`` echo what
-    the runner was invoked with (``None``/empty for zero-arg runners).
+    the runner was invoked with.
     """
 
     experiment_id: str
@@ -77,8 +119,10 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
-        """Canonical JSON-safe form (shared serialization contract)."""
-        return {"experiment_id": self.experiment_id, "title": self.title,
+        """Canonical ``repro.experiment/v1`` form (shared serialization
+        contract; see :func:`validate_experiment_dict`)."""
+        return {"schema": EXPERIMENT_SCHEMA,
+                "experiment_id": self.experiment_id, "title": self.title,
                 "header": self.header, "rows": list(self.rows),
                 "data": json_safe(self.data), "footer": self.footer,
                 "seed": self.seed, "params": json_safe(self.params),
@@ -89,88 +133,203 @@ class ExperimentResult:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
-@dataclass(frozen=True)
-class ExperimentInfo:
-    """Registry entry: id, one-line description, runner, accepted kwargs."""
-
-    experiment_id: str
-    description: str
-    runner: Callable[..., ExperimentResult]
-    #: Which of (seed, params) the runner's signature accepts.
-    accepts: FrozenSet[str] = frozenset()
-
-    def call(self, seed: Optional[int] = None,
-             params: Optional[Dict[str, object]] = None) -> ExperimentResult:
-        """Invoke the runner, threading whatever kwargs it accepts.
-
-        Passing ``seed``/``params`` to a zero-arg (deprecated-style)
-        runner warns and drops them rather than failing, so callers can
-        treat the whole registry uniformly.
-        """
-        kwargs: Dict[str, object] = {}
-        dropped: List[str] = []
-        for name, value in (("seed", seed), ("params", params)):
-            if value is None:
-                continue
-            if name in self.accepts:
-                kwargs[name] = value
-            else:
-                dropped.append(name)
-        if dropped:
-            warnings.warn(
-                f"experiment {self.experiment_id!r} has a zero-arg runner; "
-                f"ignoring {', '.join(dropped)} — add seed=/params= keywords "
-                "to the runner (zero-arg runners are deprecated)",
-                DeprecationWarning, stacklevel=3)
-        return self.runner(**kwargs)
+#: ``(field, required type or types, nullable)`` rows of the
+#: ``repro.experiment/v1`` document, checked by
+#: :func:`validate_experiment_dict`.
+_EXPERIMENT_FIELDS: Tuple[Tuple[str, Tuple[type, ...], bool], ...] = (
+    ("experiment_id", (str,), False),
+    ("title", (str,), False),
+    ("header", (str,), False),
+    ("rows", (list,), False),
+    ("footer", (str,), False),
+    ("seed", (int,), True),
+    ("params", (dict,), False),
+    ("metrics", (dict,), False),
+    ("trace_path", (str,), True),
+)
 
 
-_REGISTRY: Dict[str, ExperimentInfo] = {}
+def validate_experiment_dict(doc: object) -> List[str]:
+    """Validate a ``repro.experiment/v1`` document; returns error strings.
 
-
-def _threadable_kwargs(
-        runner: Callable[..., ExperimentResult]) -> FrozenSet[str]:
-    """Which of ``seed``/``params`` can be passed to *runner* by keyword."""
-    try:
-        signature = inspect.signature(runner)
-    except (TypeError, ValueError):  # builtins / odd callables
-        return frozenset()
-    accepts = set()
-    for parameter in signature.parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return frozenset(_THREADABLE)
-        if parameter.name in _THREADABLE and parameter.kind in (
-                inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                inspect.Parameter.KEYWORD_ONLY):
-            accepts.add(parameter.name)
-    return frozenset(accepts)
+    The fleet merge step runs every per-cell artifact through this
+    before folding it into the cross-scenario report.
+    """
+    if not isinstance(doc, dict):
+        return [f"document: expected object, got {type(doc).__name__}"]
+    errors: List[str] = []
+    schema = doc.get("schema")
+    if schema != EXPERIMENT_SCHEMA:
+        errors.append(f"schema: expected {EXPERIMENT_SCHEMA!r}, "
+                      f"got {schema!r}")
+    for name, types, nullable in _EXPERIMENT_FIELDS:
+        if name not in doc:
+            errors.append(f"{name}: missing")
+            continue
+        value = doc[name]
+        if value is None:
+            if not nullable:
+                errors.append(f"{name}: may not be null")
+            continue
+        if not isinstance(value, types) or (bool not in types
+                                            and isinstance(value, bool)):
+            errors.append(f"{name}: expected {types[0].__name__}, "
+                          f"got {type(value).__name__}")
+    rows = doc.get("rows")
+    if isinstance(rows, list) and not all(isinstance(r, str) for r in rows):
+        errors.append("rows: expected array of strings")
+    if "data" not in doc:
+        errors.append("data: missing")
+    return errors
 
 
 _Runner = Callable[..., ExperimentResult]
 
 
-def register(experiment_id: str,
-             description: str) -> Callable[[_Runner], _Runner]:
-    """Decorator registering an experiment runner under *experiment_id*."""
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry: a declarative, enumerable workload description.
+
+    ``params`` is the typed parameter schema — every knob the runner
+    understands, with its default.  ``None`` means the workload is
+    unconstrained (scratch/test runners); a mapping (possibly empty)
+    means :meth:`validate_params` rejects unknown keys and wrong types.
+    ``artifact_schema`` names the document schema :meth:`call`'s result
+    serializes to, so consumers know what to validate against.
+    """
+
+    workload_id: str
+    description: str
+    runner: _Runner
+    params: Optional[Mapping[str, Param]] = None
+    tags: FrozenSet[str] = frozenset()
+    artifact_schema: str = EXPERIMENT_SCHEMA
+
+    def default_params(self) -> Dict[str, object]:
+        """The schema's defaults (empty when unconstrained)."""
+        if not self.params:
+            return {}
+        return {name: param.default
+                for name, param in sorted(self.params.items())}
+
+    def resolve_params(
+            self, params: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        """Defaults overlaid with *params* (the cell the runner sees)."""
+        resolved = self.default_params()
+        resolved.update(params or {})
+        return resolved
+
+    def validate_params(
+            self, params: Optional[Mapping[str, object]] = None
+    ) -> List[str]:
+        """Check *params* against the schema; returns error strings."""
+        errors: List[str] = []
+        if self.params is None:
+            return errors
+        for name, value in sorted((params or {}).items()):
+            declared = self.params.get(name)
+            if declared is None:
+                known = ", ".join(sorted(self.params)) or "none"
+                errors.append(f"{self.workload_id}: unknown param {name!r} "
+                              f"(declared: {known})")
+            elif not declared.accepts(value):
+                errors.append(f"{self.workload_id}: param {name!r} expects "
+                              f"{declared.kind}, got {value!r}")
+        return errors
+
+    def call(self, seed: Optional[int] = None,
+             params: Optional[Dict[str, object]] = None) -> ExperimentResult:
+        """Validate *params* and invoke the runner.
+
+        ``None`` values are withheld so the runner's own defaults apply;
+        schema violations raise :class:`~repro.net.errors.WorkloadError`
+        before any work happens.
+        """
+        errors = self.validate_params(params)
+        if errors:
+            raise WorkloadError("; ".join(errors))
+        kwargs: Dict[str, object] = {}
+        if seed is not None:
+            kwargs["seed"] = seed
+        if params is not None:
+            kwargs["params"] = dict(params)
+        return self.runner(**kwargs)
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def _check_runner_signature(experiment_id: str, runner: _Runner) -> None:
+    """Every runner must accept ``seed`` and ``params`` by keyword."""
+    try:
+        signature = inspect.signature(runner)
+    except (TypeError, ValueError):  # builtins / odd callables
+        raise WorkloadError(
+            f"experiment {experiment_id!r}: runner signature is not "
+            "introspectable; runners must accept seed= and params=")
+    accepted = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return
+        if parameter.name in _REQUIRED_KEYWORDS and parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY):
+            accepted.add(parameter.name)
+    missing = [name for name in _REQUIRED_KEYWORDS if name not in accepted]
+    if missing:
+        raise WorkloadError(
+            f"experiment {experiment_id!r}: runner must accept "
+            f"{', '.join(missing)} by keyword (zero-arg runners were "
+            "removed; declare runner(*, seed=..., params=None))")
+
+
+def register(experiment_id: str, description: str, *,
+             params: Optional[Mapping[str, Param]] = None,
+             tags: Iterable[str] = ()) -> Callable[[_Runner], _Runner]:
+    """Decorator registering a workload under *experiment_id*.
+
+    *params* declares the typed parameter schema (``None`` leaves the
+    workload unconstrained); *tags* label workload families (e.g.
+    ``figure``, ``claim``, ``bench``) for enumeration and sweeps.
+    """
 
     def wrap(runner: _Runner) -> _Runner:
         if experiment_id in _REGISTRY:
             raise ReproError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = ExperimentInfo(
-            experiment_id=experiment_id, description=description,
-            runner=runner, accepts=_threadable_kwargs(runner))
+        _check_runner_signature(experiment_id, runner)
+        _REGISTRY[experiment_id] = WorkloadSpec(
+            workload_id=experiment_id, description=description,
+            runner=runner,
+            params=dict(params) if params is not None else None,
+            tags=frozenset(tags))
         return runner
 
     return wrap
 
 
 def available() -> List[str]:
-    """All registered experiment ids, in registration-friendly order."""
+    """All registered experiment ids, sorted."""
     return sorted(_REGISTRY)
 
 
+def all_specs() -> List[WorkloadSpec]:
+    """Every registered :class:`WorkloadSpec`, sorted by id."""
+    return [_REGISTRY[experiment_id] for experiment_id in available()]
+
+
+def get_spec(experiment_id: str) -> WorkloadSpec:
+    """The :class:`WorkloadSpec` registered under *experiment_id*."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(available())}") from None
+
+
 def describe(experiment_id: str) -> str:
-    return _info(experiment_id).description
+    return get_spec(experiment_id).description
 
 
 def run(experiment_id: str, *, seed: Optional[int] = None,
@@ -178,15 +337,16 @@ def run(experiment_id: str, *, seed: Optional[int] = None,
         obs: Optional[Observability] = None) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"F1"``, ``"E5"``, ``"E12a"``).
 
-    ``seed`` and ``params`` thread into new-style runners; ``obs``
-    activates the observability layer for the duration of the run (the
-    runner's scheduler, protocols, and forwarding engine bind to it at
+    ``seed`` and ``params`` thread into the runner after validating
+    against the workload's declared schema; ``obs`` activates the
+    observability layer for the duration of the run (the runner's
+    scheduler, protocols, and forwarding engine bind to it at
     construction).  The result is stamped with the run's metrics
     snapshot and trace path.
     """
-    info = _info(experiment_id)
+    spec = get_spec(experiment_id)
     if obs is None:
-        result = info.call(seed=seed, params=params)
+        result = spec.call(seed=seed, params=params)
     else:
         with observing(obs):
             if obs.enabled:
@@ -196,7 +356,7 @@ def run(experiment_id: str, *, seed: Optional[int] = None,
             # span the runner produces lands in this one trace tree.
             with obs.span("experiment", experiment=experiment_id,
                           seed=seed) as span:
-                result = info.call(seed=seed, params=params)
+                result = spec.call(seed=seed, params=params)
                 span.end()
             if obs.enabled:
                 obs.event("experiment.end", experiment=experiment_id)
@@ -210,17 +370,52 @@ def run(experiment_id: str, *, seed: Optional[int] = None,
     return result
 
 
+@dataclass
+class RunOutcome:
+    """One :func:`run_many` entry: the result, or the isolated failure.
+
+    Exactly one of ``result``/``error`` is set.  ``error`` is the
+    deterministic ``"TypeName: message"`` rendering of the exception, so
+    cross-run reports built from outcomes stay byte-comparable.
+    """
+
+    experiment_id: str
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"experiment_id": self.experiment_id,
+                "ok": self.ok,
+                "result": self.result.to_dict() if self.result else None,
+                "error": self.error}
+
+
+def format_error(exc: BaseException) -> str:
+    """The deterministic error rendering shared by run_many and fleet."""
+    return f"{type(exc).__name__}: {exc}"
+
+
 def run_many(experiment_ids: Iterable[str], *, seed: Optional[int] = None,
              params: Optional[Dict[str, object]] = None,
-             obs: Optional[Observability] = None) -> List[ExperimentResult]:
-    return [run(experiment_id, seed=seed, params=params, obs=obs)
-            for experiment_id in experiment_ids]
+             obs: Optional[Observability] = None) -> List[RunOutcome]:
+    """Run several experiments, isolating per-id failures.
 
-
-def _info(experiment_id: str) -> ExperimentInfo:
-    try:
-        return _REGISTRY[experiment_id]
-    except KeyError:
-        raise ReproError(
-            f"unknown experiment {experiment_id!r}; "
-            f"available: {', '.join(available())}") from None
+    One crashing experiment no longer aborts the batch: its
+    :class:`RunOutcome` carries the error string and the remaining ids
+    still run.  The fleet merge step relies on the same contract.
+    """
+    outcomes: List[RunOutcome] = []
+    for experiment_id in experiment_ids:
+        try:
+            result = run(experiment_id, seed=seed, params=params, obs=obs)
+        except ReproError as exc:
+            outcomes.append(RunOutcome(experiment_id=experiment_id,
+                                       error=format_error(exc)))
+        else:
+            outcomes.append(RunOutcome(experiment_id=experiment_id,
+                                       result=result))
+    return outcomes

@@ -1,6 +1,14 @@
-"""Experiments F1-F4: the paper's figure walk-throughs, regenerated."""
+"""Experiments F1-F4: the paper's figure walk-throughs, regenerated.
+
+The figure topologies are fixed by the paper (no randomness), so the
+uniform ``seed`` keyword does not perturb them; it is accepted, stamped
+into the result, and exists so the registry presents one runner shape
+to the CLI, bench harness, and fleet engine.
+"""
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 from repro.core.metrics import vn_coverage, vn_tail_length
 from repro.core.orchestrator import Orchestrator
@@ -10,8 +18,10 @@ from repro.vnbone import EgressPolicy, VnDeployment
 from repro.experiments.base import ExperimentResult, register
 
 
-@register("F1", "Figure 1: seamless spread of deployment via anycast")
-def run_figure1() -> ExperimentResult:
+@register("F1", "Figure 1: seamless spread of deployment via anycast",
+          params={}, tags=("figure",))
+def run_figure1(seed: int = 0,
+                params: Optional[Dict[str, object]] = None) -> ExperimentResult:
     fig = figure1()
     orch = Orchestrator(fig.network)
     orch.converge()
@@ -41,11 +51,14 @@ def run_figure1() -> ExperimentResult:
         experiment_id="F1",
         title="Figure 1: seamless spread of IPv8 deployment",
         header=header, rows=rows, data=data,
-        footer="paper: X -> Y -> Z, non-increasing cost, no reconfiguration")
+        footer="paper: X -> Y -> Z, non-increasing cost, no reconfiguration",
+        seed=seed, params=dict(params or {}))
 
 
-@register("F2", "Figure 2: default-ISP anycast, before/after Q-Y peering")
-def run_figure2() -> ExperimentResult:
+@register("F2", "Figure 2: default-ISP anycast, before/after Q-Y peering",
+          params={}, tags=("figure",))
+def run_figure2(seed: int = 0,
+                params: Optional[Dict[str, object]] = None) -> ExperimentResult:
     fig = figure2()
     orch = Orchestrator(fig.network)
     orch.converge()
@@ -82,15 +95,18 @@ def run_figure2() -> ExperimentResult:
                 f"{data['bgp_added_by_joining']}; default-ISP traffic "
                 f"share {data['share_before']:.0%} -> "
                 f"{data['share_after']:.0%} "
-                "(paper: X,Y->D and Z->Q; then Y->Q)"))
+                "(paper: X,Y->D and Z->Q; then Y->Q)"),
+        seed=seed, params=dict(params or {}))
 
 
 FIG3_POLICIES = [EgressPolicy.EXIT_IMMEDIATELY, EgressPolicy.BGP_INFORMED,
                  EgressPolicy.HOST_ADVERTISED]
 
 
-@register("F3", "Figure 3: egress selection with BGPv(N-1) import")
-def run_figure3() -> ExperimentResult:
+@register("F3", "Figure 3: egress selection with BGPv(N-1) import",
+          params={}, tags=("figure",))
+def run_figure3(seed: int = 0,
+                params: Optional[Dict[str, object]] = None) -> ExperimentResult:
     data = []
     for policy in FIG3_POLICIES:
         fig = figure3()
@@ -129,7 +145,8 @@ def run_figure3() -> ExperimentResult:
         title="Figure 3: egress selection for a non-IPvN destination",
         header=header, rows=rows, data=data,
         footer="paper: BGPv(N-1) import moves the exit from M to O, "
-               "shortening the legacy tail")
+               "shortening the legacy tail",
+        seed=seed, params=dict(params or {}))
 
 
 def _figure4_deployment(policy: EgressPolicy, threshold: int):
@@ -145,8 +162,10 @@ def _figure4_deployment(policy: EgressPolicy, threshold: int):
     return fig, deployment
 
 
-@register("F4", "Figure 4: advertising-by-proxy")
-def run_figure4() -> ExperimentResult:
+@register("F4", "Figure 4: advertising-by-proxy",
+          params={}, tags=("figure",))
+def run_figure4(seed: int = 0,
+                params: Optional[Dict[str, object]] = None) -> ExperimentResult:
     data = []
     configs = [("no proxy", EgressPolicy.EXIT_IMMEDIATELY, 0),
                ("proxy, thr=1", EgressPolicy.PROXY, 1),
@@ -183,4 +202,5 @@ def run_figure4() -> ExperimentResult:
         title="Figure 4: path A -> Z with and without advertising-by-proxy",
         header=header, rows=rows, data=data,
         footer="paper: proxying shifts the path from A->M->N->Z onto the "
-               "vN-Bone via B/C")
+               "vN-Bone via B/C",
+        seed=seed, params=dict(params or {}))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import random
 
+from typing import Dict, Optional
+
 from repro.net import Domain, EventScheduler, Network, Prefix, ipv4
 from repro.routing.distancevector import DistanceVectorRouting
 from repro.routing.linkstate import LinkStateRouting
@@ -14,7 +16,7 @@ N_ROUTERS = 24
 GROUP_COUNTS = [0, 1, 4]
 
 
-def _build_domain(seed=41):
+def _build_domain(seed):
     net = Network()
     net.add_domain(Domain(asn=1, name="one",
                           prefix=Prefix.parse("10.1.0.0/16")))
@@ -22,10 +24,10 @@ def _build_domain(seed=41):
     return net
 
 
-def _run_igp(igp_cls):
+def _run_igp(igp_cls, seed):
     rows = []
     for groups in GROUP_COUNTS:
-        net = _build_domain()
+        net = _build_domain(seed)
         sched = EventScheduler()
         igp = igp_cls(net, net.domains[1], sched)
         routers = sorted(net.domains[1].routers)
@@ -52,10 +54,13 @@ def _run_igp(igp_cls):
     return rows
 
 
-@register("E11", "IGP message cost of the anycast extensions")
-def run_igp_cost() -> ExperimentResult:
-    data = {"linkstate": _run_igp(LinkStateRouting),
-            "distancevector": _run_igp(DistanceVectorRouting)}
+@register("E11", "IGP message cost of the anycast extensions",
+          params={}, tags=("claim", "igp"))
+def run_igp_cost(seed: int = 41,
+                 params: Optional[Dict[str, object]] = None
+                 ) -> ExperimentResult:
+    data = {"linkstate": _run_igp(LinkStateRouting, seed),
+            "distancevector": _run_igp(DistanceVectorRouting, seed)}
     ls, dv = data["linkstate"], data["distancevector"]
     header = (f"{'groups':>6} | {'LS cold':>8} {'LS incr':>8} "
               f"{'LS disc':>8} | {'DV cold':>8} {'DV incr':>8} "
@@ -70,4 +75,5 @@ def run_igp_cost() -> ExperimentResult:
               f"({N_ROUTERS}-router domain)",
         header=header, rows=rows, data=data,
         footer="paper: the extension is a small modification; only "
-               "link-state lets IPvN routers discover one another")
+               "link-state lets IPvN routers discover one another",
+        seed=seed, params=dict(params or {}))

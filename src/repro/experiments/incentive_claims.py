@@ -2,26 +2,37 @@
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.closed_loop import CoupledEvolution
 from repro.core.evolution import EvolvableInternet
 from repro.core.incentives import AdoptionModel, compare_access_models
 from repro.topogen import InternetSpec
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentResult, Param, register
 
 E8_SEEDS = list(range(10))
 E8_ROUNDS = 80
 E14_ROUNDS = 40
 
 
-@register("E8", "adoption dynamics: universal access vs walled garden")
-def run_adoption_dynamics() -> ExperimentResult:
+@register("E8", "adoption dynamics: universal access vs walled garden",
+          params={"n_isps": Param("int", 30, "ISPs in the adoption model"),
+                  "rounds": Param("int", E8_ROUNDS, "simulated rounds")},
+          tags=("claim", "economics"))
+def run_adoption_dynamics(seed: int = 0,
+                          params: Optional[Dict[str, object]] = None
+                          ) -> ExperimentResult:
+    params = dict(params or {})
+    n_isps = int(params.get("n_isps", 30))
+    rounds = int(params.get("rounds", E8_ROUNDS))
     data = []
-    for seed in E8_SEEDS:
-        result = compare_access_models(n_isps=30, rounds=E8_ROUNDS, seed=seed)
+    for offset in E8_SEEDS:
+        result = compare_access_models(n_isps=n_isps, rounds=rounds,
+                                       seed=seed + offset)
         ua = result["universal_access"]
         wg = result["walled_garden"]
         data.append({
-            "seed": seed,
+            "seed": seed + offset,
             "ua_share": ua.final_share(),
             "ua_demand": ua.final_demand(),
             "ua_half": ua.rounds_to_share(0.5),
@@ -39,30 +50,37 @@ def run_adoption_dynamics() -> ExperimentResult:
             for r in data]
     return ExperimentResult(
         experiment_id="E8",
-        title=f"E8: adoption after {E8_ROUNDS} rounds, universal access vs "
+        title=f"E8: adoption after {rounds} rounds, universal access vs "
               "walled garden",
         header=header, rows=rows, data=data,
         footer="paper: UA -> virtuous cycle to saturation; no UA -> "
-               "multicast-style chicken-and-egg stall")
+               "multicast-style chicken-and-egg stall",
+        seed=seed, params=params)
 
 
-def _coupled(universal_access: bool) -> CoupledEvolution:
+def _coupled(universal_access: bool, seed: int) -> CoupledEvolution:
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=2, n_tier2=4, n_stub=8, hosts_per_stub=1,
-                     seed=81))
+                     seed=seed))
     # Slower demand growth and higher deployment cost than the model's
     # defaults, so the cascade unfolds over rounds instead of at once.
     model = AdoptionModel(n_isps=14, universal_access=universal_access,
-                          seed=81, seeding_prob=0.02, cost_mean=2.5,
+                          seed=seed, seeding_prob=0.02, cost_mean=2.5,
                           demand_rate=0.12)
     return CoupledEvolution(internet, model, sample_pairs=20,
-                            measure_every=2, seed=81)
+                            measure_every=2, seed=seed)
 
 
-@register("E14", "closed-loop virtuous cycle on a live network")
-def run_closed_loop() -> ExperimentResult:
-    ua = _coupled(universal_access=True).run(E14_ROUNDS)
-    wg = _coupled(universal_access=False).run(E14_ROUNDS)
+@register("E14", "closed-loop virtuous cycle on a live network",
+          params={"rounds": Param("int", E14_ROUNDS, "simulated rounds")},
+          tags=("claim", "economics"))
+def run_closed_loop(seed: int = 81,
+                    params: Optional[Dict[str, object]] = None
+                    ) -> ExperimentResult:
+    params = dict(params or {})
+    rounds = int(params.get("rounds", E14_ROUNDS))
+    ua = _coupled(universal_access=True, seed=seed).run(rounds)
+    wg = _coupled(universal_access=False, seed=seed).run(rounds)
     rows = []
     for entry in ua.rounds:
         if entry.delivery_ratio is None:
@@ -78,6 +96,7 @@ def run_closed_loop() -> ExperimentResult:
         experiment_id="E14",
         title="E14: closed-loop virtuous cycle (universal access)",
         header=header, rows=rows, data={"ua": ua, "wg": wg},
-        footer=f"walled-garden twin after {E14_ROUNDS} rounds: "
+        footer=f"walled-garden twin after {rounds} rounds: "
                f"{len(wg.final().deployed_asns)} adopters vs "
-               f"{len(ua.final().deployed_asns)} with UA")
+               f"{len(ua.final().deployed_asns)} with UA",
+        seed=seed, params=params)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.evolution import EvolvableInternet
 from repro.net.errors import RedirectionError
 from repro.redirection import (BrokerLookupService, IspLookupService,
@@ -25,11 +27,14 @@ def _score(deployment, clients, server, service=None):
     return served / len(clients), delivered / len(clients)
 
 
-@register("E7", "redirection mechanisms under partial participation/churn")
-def run_redirection_comparison() -> ExperimentResult:
+@register("E7", "redirection mechanisms under partial participation/churn",
+          params={}, tags=("claim", "redirection"))
+def run_redirection_comparison(seed: int = 17,
+                               params: Optional[Dict[str, object]] = None
+                               ) -> ExperimentResult:
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=3, n_tier2=5, n_stub=10, hosts_per_stub=2,
-                     seed=17))
+                     seed=seed))
     ipv8 = internet.new_deployment(version=8, scheme="default")
     ipv8.deploy(ipv8.scheme.default_asn)
     extra = internet.stub_asns()[0]
@@ -81,4 +86,5 @@ def run_redirection_comparison() -> ExperimentResult:
               "and churn",
         header=header, rows=rows, data=data,
         footer="paper: only network-level anycast keeps universal access "
-               "within the existing market structure")
+               "within the existing market structure",
+        seed=seed, params=dict(params or {}))

@@ -26,13 +26,13 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs import get_obs
 from repro.topogen import InternetSpec
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentResult, Param, register
 
 
-def _build():
+def _build(seed):
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=3, n_tier2=5, n_stub=8, hosts_per_stub=1,
-                     routers_tier1=5, seed=53), seed=53)
+                     routers_tier1=5, seed=seed), seed=seed)
     deployment = internet.new_deployment(version=8, scheme="default")
     deployment.deploy(deployment.scheme.default_asn)
     for asn in internet.stub_asns()[:2]:
@@ -102,10 +102,15 @@ def _redundant_tier1_link(internet):
     return None
 
 
-@register("E17", "availability under router/link failure and repair")
-def run_resilience() -> ExperimentResult:
-    internet, deployment = _build()
-    pairs = internet.host_pairs(sample=25, seed=5)
+@register("E17", "availability under router/link failure and repair",
+          params={"sample": Param("int", 25, "host pairs per measurement")},
+          tags=("claim", "resilience"))
+def run_resilience(seed: int = 53,
+                   params: Optional[Dict[str, object]] = None
+                   ) -> ExperimentResult:
+    params = dict(params or {})
+    internet, deployment = _build(seed)
+    pairs = internet.host_pairs(sample=int(params.get("sample", 25)), seed=5)
     probe_host, first_member = _probe_and_victim(internet, deployment)
     events = []
 
@@ -146,11 +151,20 @@ def run_resilience() -> ExperimentResult:
         header=header, rows=rows,
         data={"events": events, "first_member": first_member},
         footer="anycast self-management: delivery never dips; the dead "
-               "member carries nothing; state returns on repair")
+               "member carries nothing; state returns on repair",
+        seed=seed, params=params)
 
 
 @register("anycast_failover",
-          "fault-injected anycast failover: transient vs recovered delivery")
+          "fault-injected anycast failover: transient vs recovered delivery",
+          params={"n_tier2": Param("int", 4, "tier-2 domains"),
+                  "n_stub": Param("int", 6, "stub domains"),
+                  "pairs": Param("int", 12, "host pairs per probe"),
+                  "crash_at": Param("float", 10.0, "victim crash time"),
+                  "recover_at": Param("float", 80.0, "victim recovery time"),
+                  "sample_interval": Param("float", 10.0,
+                                           "metric sampling interval")},
+          tags=("claim", "resilience", "faults"))
 def run_anycast_failover(seed: int = 11,
                          params: Optional[Dict[str, object]] = None
                          ) -> ExperimentResult:

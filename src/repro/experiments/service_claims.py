@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.evolution import EvolvableInternet
 from repro.core.metrics import path_stretch
 from repro.topogen import InternetSpec
@@ -13,10 +15,10 @@ E12_GROUP_SIZES = [2, 4, 8, 16]
 E16_MOVES = 4
 
 
-def _multicast_internet(n_adopters):
+def _multicast_internet(n_adopters, seed):
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=3, n_tier2=6, n_stub=12, hosts_per_stub=2,
-                     seed=77))
+                     seed=seed))
     deployment = internet.new_deployment(version=8, scheme="default")
     order = [deployment.scheme.default_asn] + [
         asn for asn in sorted(internet.network.domains)
@@ -27,9 +29,13 @@ def _multicast_internet(n_adopters):
     return internet, deployment, enable_multicast(deployment)
 
 
-@register("E12a", "multicast-over-IPvN vs unicast fan-out")
-def run_multicast_efficiency() -> ExperimentResult:
-    internet, deployment, service = _multicast_internet(n_adopters=4)
+@register("E12a", "multicast-over-IPvN vs unicast fan-out",
+          params={}, tags=("claim", "service"))
+def run_multicast_efficiency(seed: int = 77,
+                             params: Optional[Dict[str, object]] = None
+                             ) -> ExperimentResult:
+    internet, deployment, service = _multicast_internet(n_adopters=4,
+                                                        seed=seed)
     hosts = internet.hosts()
     src = hosts[0]
     data = []
@@ -64,14 +70,19 @@ def run_multicast_efficiency() -> ExperimentResult:
               "(4 adopting ISPs)",
         header=header, rows=rows, data=data,
         footer="extension: the service multicast never delivered, running "
-               "over the paper's evolution machinery")
+               "over the paper's evolution machinery",
+        seed=seed, params=dict(params or {}))
 
 
-@register("E12b", "multicast universal access vs adopting ISPs")
-def run_multicast_access() -> ExperimentResult:
+@register("E12b", "multicast universal access vs adopting ISPs",
+          params={}, tags=("claim", "service"))
+def run_multicast_access(seed: int = 77,
+                         params: Optional[Dict[str, object]] = None
+                         ) -> ExperimentResult:
     data = []
     for n_adopters in (1, 3, 6):
-        internet, deployment, service = _multicast_internet(n_adopters)
+        internet, deployment, service = _multicast_internet(n_adopters,
+                                                            seed=seed)
         hosts = internet.hosts()
         group = service.create_group()
         receivers = hosts[1:9]
@@ -92,14 +103,18 @@ def run_multicast_access() -> ExperimentResult:
         title="E12b: multicast universal access vs adopting ISPs",
         header=header, rows=rows, data=data,
         footer="one adopting ISP suffices for every host to source and "
-               "receive — the access multicast historically lacked")
+               "receive — the access multicast historically lacked",
+        seed=seed, params=dict(params or {}))
 
 
-@register("E16", "host mobility: identity survives, locator dies")
-def run_mobility() -> ExperimentResult:
+@register("E16", "host mobility: identity survives, locator dies",
+          params={}, tags=("claim", "service"))
+def run_mobility(seed: int = 93,
+                 params: Optional[Dict[str, object]] = None
+                 ) -> ExperimentResult:
     internet = EvolvableInternet.generate(
         InternetSpec(n_tier1=2, n_tier2=4, n_stub=8, hosts_per_stub=1,
-                     seed=93), seed=93)
+                     seed=seed), seed=seed)
     deployment = internet.new_deployment(version=8, scheme="default")
     deployment.deploy(deployment.scheme.default_asn)
     deployment.rebuild()
@@ -135,4 +150,5 @@ def run_mobility() -> ExperimentResult:
         title="E16: host mobility — identity survives, locator dies",
         header=header, rows=rows, data=data,
         footer="extension: identity/locator split via pinned IPvN "
-               "addresses and anycast re-registration")
+               "addresses and anycast re-registration",
+        seed=seed, params=dict(params or {}))

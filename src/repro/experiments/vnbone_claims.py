@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import statistics
 
+from typing import Dict, Optional
+
 from repro.anycast import DefaultRootedAnycast
 from repro.core.evolution import EvolvableInternet
 from repro.core.metrics import measure_reachability
@@ -22,12 +24,15 @@ def vn_connected(deployment) -> bool:
     return reachable == set(members)
 
 
-@register("E9a", "vN-Bone construction vs k (mixed LS/DV domains)")
-def run_k_sweep() -> ExperimentResult:
+@register("E9a", "vN-Bone construction vs k (mixed LS/DV domains)",
+          params={}, tags=("claim", "vnbone"))
+def run_k_sweep(seed: int = 31,
+                params: Optional[Dict[str, object]] = None
+                ) -> ExperimentResult:
     data = []
     for k in (1, 2, 3):
         internet = EvolvableInternet.generate(
-            InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=31),
+            InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=seed),
             igp_overrides={2: "distancevector", 5: "distancevector"})
         deployment = internet.new_deployment(version=8, scheme="default",
                                              k_neighbors=k)
@@ -50,13 +55,17 @@ def run_k_sweep() -> ExperimentResult:
         title="E9a: vN-Bone construction vs k (mixed LS/DV domains)",
         header=header, rows=rows, data=data,
         footer="paper: partitions are detected and repaired; DV domains "
-               "bootstrap via anycast")
+               "bootstrap via anycast",
+        seed=seed, params=dict(params or {}))
 
 
-@register("E9b", "vN-Bone congruence with the physical topology")
-def run_congruence() -> ExperimentResult:
+@register("E9b", "vN-Bone congruence with the physical topology",
+          params={}, tags=("claim", "vnbone"))
+def run_congruence(seed: int = 32,
+                   params: Optional[Dict[str, object]] = None
+                   ) -> ExperimentResult:
     internet = EvolvableInternet.generate(
-        InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=32))
+        InternetSpec(n_tier1=3, n_tier2=6, n_stub=10, seed=seed))
     deployment = internet.new_deployment(version=8, scheme="default")
     # Adoption order chosen to start sparse/disconnected: stubs first.
     order = ([deployment.scheme.default_asn] + internet.stub_asns()[:4]
@@ -82,7 +91,8 @@ def run_congruence() -> ExperimentResult:
               "adoption",
         header=header, rows=rows, data=data,
         footer="paper: the vN-Bone evolves to be congruent with the "
-               "underlying topology as deployment spreads")
+               "underlying topology as deployment spreads",
+        seed=seed, params=dict(params or {}))
 
 
 def _run_mode(mode, version, n_adopters, internet):
@@ -105,14 +115,17 @@ def _run_mode(mode, version, n_adopters, internet):
             "fib_mean": statistics.fmean(fib_sizes) if fib_sizes else 0.0}
 
 
-@register("E15", "routing ablation: global SPF vs layered BGPvN")
-def run_routing_modes() -> ExperimentResult:
+@register("E15", "routing ablation: global SPF vs layered BGPvN",
+          params={}, tags=("claim", "vnbone"))
+def run_routing_modes(seed: int = 37,
+                      params: Optional[Dict[str, object]] = None
+                      ) -> ExperimentResult:
     data = []
     version = 8
     for n_adopters in E15_ADOPTION_LEVELS:
         internet = EvolvableInternet.generate(
             InternetSpec(n_tier1=2, n_tier2=4, n_stub=8, hosts_per_stub=2,
-                         seed=37), seed=37)
+                         seed=seed), seed=seed)
         flat = _run_mode("global-spf", version, n_adopters, internet)
         layered = _run_mode("layered", version + 1, n_adopters, internet)
         data.append({"adopters": n_adopters, "flat": flat,
@@ -129,4 +142,5 @@ def run_routing_modes() -> ExperimentResult:
         title="E15: vN-Bone routing ablation: global SPF vs layered BGPvN",
         header=header, rows=rows, data=data,
         footer="universal access is routing-flavor independent; stretch "
-               "differences are the cost of domain-granularity decisions")
+               "differences are the cost of domain-granularity decisions",
+        seed=seed, params=dict(params or {}))

@@ -1,0 +1,17 @@
+"""Sharded experiment fleet: declarative matrices, multiprocess sweeps.
+
+``repro.fleet`` fans a declarative parameter matrix (``repro.matrix/v1``,
+:mod:`repro.fleet.spec`) over the workload-spec registry across worker
+processes and merges the per-cell artifacts into one deterministic
+``repro.fleet/v1`` report (:mod:`repro.fleet.engine`).  See
+``docs/fleet.md``.
+"""
+
+from repro.fleet.engine import (FLEET_SCHEMA, execute_cell, fleet_to_json,
+                                run_fleet, validate_fleet_dict, write_fleet)
+from repro.fleet.spec import (MATRIX_SCHEMA, FleetCell, FleetMatrix,
+                              cell_seed)
+
+__all__ = ["FLEET_SCHEMA", "MATRIX_SCHEMA", "FleetCell", "FleetMatrix",
+           "cell_seed", "execute_cell", "fleet_to_json", "run_fleet",
+           "validate_fleet_dict", "write_fleet"]

@@ -70,3 +70,11 @@ class RedirectionError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event kernel was used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload spec was violated (bad param schema, bad runner shape)."""
+
+
+class FleetError(ReproError):
+    """A fleet matrix or sweep invocation was malformed."""

@@ -60,6 +60,20 @@ class Tracer:
         self._started = False
         self._closed = False
 
+    @classmethod
+    def for_cell(cls, cell_name: str, directory: str,
+                 context: Optional[Dict[str, object]] = None) -> "Tracer":
+        """A tracer writing to ``<directory>/<cell_name>.jsonl``.
+
+        The per-cell trace convention of the fleet engine: each sweep
+        cell (and each worker process) gets its own stream, derived
+        deterministically from the cell id, so parallel cells never
+        interleave events in one file.  Creates *directory* if needed.
+        """
+        target = Path(directory) / f"{cell_name}.jsonl"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        return cls(path=str(target), context=context)
+
     # -- lifecycle ----------------------------------------------------------
     def _ensure_started(self) -> None:
         if self._started:

@@ -56,6 +56,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.evolution import EvolvableInternet
+from repro.experiments.base import (ExperimentResult, Param, WorkloadSpec,
+                                    all_specs, register)
 from repro.faults.plan import FaultPlan
 from repro.faults.injector import FaultInjector
 from repro.net.errors import ReproError
@@ -199,6 +201,66 @@ WORKLOADS: List[Tuple[str, WorkloadFn]] = [
     ("multicast_fanout", workload_multicast_fanout),
 ]
 
+#: Registry id prefix for the bench workloads.
+BENCH_ID_PREFIX = "bench_"
+
+
+def _make_bench_runner(name: str, fn: WorkloadFn):
+    """Wrap a raw workload as a registered ``runner(seed, params)``."""
+
+    def runner(seed: int = DEFAULT_SEED,
+               params: Optional[Dict[str, object]] = None
+               ) -> ExperimentResult:
+        quick = bool(dict(params or {}).get("quick", False))
+        payload = _canonical(fn(seed, quick))
+        resolved = workload_params(name, seed, quick)
+        header = f"{'param':>18} {'value':>8}"
+        rows = [f"{key:>18} {value:>8}"
+                for key, value in sorted(resolved.items())]
+        return ExperimentResult(
+            experiment_id=f"{BENCH_ID_PREFIX}{name}",
+            title=f"perf bench workload: {name}",
+            header=header, rows=rows, data=payload,
+            footer="payload is a pure function of (seed, quick)",
+            seed=seed, params={"quick": quick})
+
+    return runner
+
+
+def _register_bench_workloads() -> None:
+    """Expose the matrix through the workload-spec registry, so the
+    fleet, the CLI, and ``run_bench`` all enumerate it from one surface."""
+    for name, fn in WORKLOADS:
+        register(f"{BENCH_ID_PREFIX}{name}",
+                 f"perf bench workload: {name} (payload is a pure "
+                 "function of seed/quick)",
+                 params={"quick": Param("bool", False,
+                                        "small topology / fewer samples")},
+                 tags=("bench",))(_make_bench_runner(name, fn))
+
+
+_register_bench_workloads()
+
+
+def bench_specs() -> List[Tuple[str, WorkloadSpec]]:
+    """The bench matrix as ``(name, spec)`` pairs, enumerated from the
+    registry in the canonical :data:`WORKLOADS` order."""
+    order = {name: index for index, (name, _) in enumerate(WORKLOADS)}
+    entries = [(spec.workload_id[len(BENCH_ID_PREFIX):], spec)
+               for spec in all_specs() if "bench" in spec.tags]
+    entries.sort(key=lambda item: (order.get(item[0], len(order)), item[0]))
+    return entries
+
+
+def _spec_workload(spec: WorkloadSpec) -> WorkloadFn:
+    """Adapt a registered bench spec back to the ``(seed, quick)`` leg
+    shape; the call path validates params against the spec's schema."""
+
+    def fn(seed: int, quick: bool) -> object:
+        return spec.call(seed=seed, params={"quick": quick}).data
+
+    return fn
+
 
 # -- leg execution ----------------------------------------------------------
 @dataclass
@@ -270,7 +332,8 @@ def run_bench(seed: int = DEFAULT_SEED, quick: bool = False
     total_cached = total_uncached = 0
     wall_total_cached = wall_total_uncached = 0.0
     all_identical = True
-    for name, workload in WORKLOADS:
+    for name, spec in bench_specs():
+        workload = _spec_workload(spec)
         cached_leg = run_leg(workload, seed, quick, cached=True)
         uncached_leg = run_leg(workload, seed, quick, cached=False)
         entry = _workload_entry(cached_leg, uncached_leg)

@@ -10,12 +10,21 @@ from repro.experiments.base import register
 
 ALL_IDS = ["E10", "E11", "E12a", "E12b", "E13a", "E13b", "E14", "E15",
            "E16", "E17", "E5", "E6", "E7", "E8", "E9a", "E9b", "F1", "F2",
-           "F3", "F4", "anycast_failover"]
+           "F3", "F4", "anycast_failover", "bench_converge",
+           "bench_fault_epoch", "bench_multicast_fanout",
+           "bench_reachability_sweep"]
 
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert available() == ALL_IDS
+        # Other test modules may register throwaway workloads (tagged
+        # "test") in this process; the built-in suite must match exactly.
+        from repro.experiments import all_specs
+
+        ids = [spec.workload_id for spec in all_specs()
+               if "test" not in spec.tags]
+        assert ids == ALL_IDS
+        assert set(ALL_IDS) <= set(available())
 
     def test_describe(self):
         assert "Figure 1" in describe("F1")
@@ -28,7 +37,7 @@ class TestRegistry:
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ReproError):
-            register("F1", "duplicate")(lambda: None)
+            register("F1", "duplicate")(lambda seed=0, params=None: None)
 
 
 class TestResults:
@@ -43,8 +52,16 @@ class TestResults:
         assert result.footer in table
 
     def test_run_many(self):
-        results = run_many(["F1", "F2"])
-        assert [r.experiment_id for r in results] == ["F1", "F2"]
+        outcomes = run_many(["F1", "F2"])
+        assert [o.experiment_id for o in outcomes] == ["F1", "F2"]
+        assert all(o.ok for o in outcomes)
+        assert [o.result.experiment_id for o in outcomes] == ["F1", "F2"]
+
+    def test_run_many_isolates_unknown_ids(self):
+        outcomes = run_many(["F1", "F99"])
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "unknown experiment" in outcomes[1].error
 
     def test_e8_runs(self):
         result = run("E8")

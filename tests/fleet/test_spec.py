@@ -1,0 +1,131 @@
+"""The ``repro.matrix/v1`` format: parsing, enumeration, seed derivation."""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetMatrix, cell_seed
+from repro.fleet.spec import MATRIX_SCHEMA
+from repro.net.errors import FleetError
+
+from tests.fleet import _workloads  # noqa: F401  (registers fleet_probe)
+
+
+def make_matrix(**overrides):
+    doc = {"schema": MATRIX_SCHEMA, "workloads": ["fleet_probe"],
+           "base_seed": 7, "axes": {"scale": [1, 3], "offset": [0, 10]},
+           "repeats": 2}
+    doc.update(overrides)
+    return FleetMatrix.from_dict(doc)
+
+
+class TestCellSeed:
+    def test_deterministic(self):
+        assert cell_seed(0, 7) == cell_seed(0, 7)
+
+    def test_varies_with_index_and_base(self):
+        seeds = {cell_seed(i, 7) for i in range(100)}
+        assert len(seeds) == 100
+        assert cell_seed(0, 7) != cell_seed(0, 8)
+
+    def test_in_int32_range(self):
+        for i in range(50):
+            assert 0 <= cell_seed(i, 12345) < 2 ** 31 - 1
+
+
+class TestParsing:
+    def test_singular_workload_shorthand(self):
+        matrix = FleetMatrix.from_dict(
+            {"schema": MATRIX_SCHEMA, "workload": "fleet_probe"})
+        assert matrix.workloads == ("fleet_probe",)
+        assert matrix.repeats == 1
+        assert matrix.axes == {}
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(FleetError, match="not both"):
+            FleetMatrix.from_dict({"workload": "a", "workloads": ["b"]})
+
+    @pytest.mark.parametrize("doc,match", [
+        ([], "expected object"),
+        ({"schema": "repro.matrix/v0", "workload": "x"}, "schema"),
+        ({}, "workloads"),
+        ({"workloads": []}, "workloads"),
+        ({"workload": "x", "base_seed": "7"}, "base_seed"),
+        ({"workload": "x", "base_seed": True}, "base_seed"),
+        ({"workload": "x", "repeats": 0}, "repeats"),
+        ({"workload": "x", "axes": {"a": []}}, "axes.a"),
+        ({"workload": "x", "axes": {"a": [[1]]}}, "axes.a"),
+        ({"workload": "x", "imports": [3]}, "imports"),
+    ])
+    def test_malformed_matrices_rejected(self, doc, match):
+        with pytest.raises(FleetError, match=match):
+            FleetMatrix.from_dict(doc)
+
+    def test_file_round_trip(self, tmp_path):
+        matrix = make_matrix()
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(matrix.to_dict()))
+        assert FleetMatrix.from_file(str(path)) == matrix
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FleetError, match="matrix file"):
+            FleetMatrix.from_file(str(tmp_path / "nope.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(FleetError, match="invalid JSON"):
+            FleetMatrix.from_file(str(bad))
+
+
+class TestEnumeration:
+    def test_cell_count_is_the_product(self):
+        assert len(make_matrix().cells()) == 2 * 2 * 2
+
+    def test_canonical_order_and_seeds(self):
+        cells = make_matrix(repeats=1).cells()
+        # Axis names sorted (offset before scale), values in listed order.
+        assert [c.params for c in cells] == [
+            {"offset": 0, "scale": 1}, {"offset": 0, "scale": 3},
+            {"offset": 10, "scale": 1}, {"offset": 10, "scale": 3}]
+        for cell in cells:
+            assert cell.index == cells.index(cell)
+            assert cell.seed == cell_seed(cell.index, 7)
+            assert cell.name == f"cell-{cell.index:04d}"
+
+    def test_repeats_share_params_not_seeds(self):
+        cells = make_matrix().cells()
+        first, second = cells[0], cells[1]
+        assert first.params == second.params
+        assert (first.repeat, second.repeat) == (0, 1)
+        assert first.seed != second.seed
+
+    def test_axisless_matrix_has_repeat_cells(self):
+        matrix = FleetMatrix.from_dict(
+            {"workload": "fleet_probe", "repeats": 3})
+        assert [c.params for c in matrix.cells()] == [{}, {}, {}]
+
+
+class TestSpecHash:
+    def test_stable_and_sensitive(self):
+        assert make_matrix().spec_hash() == make_matrix().spec_hash()
+        assert (make_matrix(base_seed=8).spec_hash()
+                != make_matrix().spec_hash())
+        assert (make_matrix(repeats=1).spec_hash()
+                != make_matrix().spec_hash())
+
+
+class TestRegistryValidation:
+    def test_clean_matrix_validates(self):
+        assert make_matrix().validate_against_registry() == []
+
+    def test_unknown_workload_reported(self):
+        matrix = FleetMatrix.from_dict({"workload": "no_such_workload"})
+        errors = matrix.validate_against_registry()
+        assert errors and "unknown experiment" in errors[0]
+
+    def test_axis_values_checked_against_the_param_schema(self):
+        bad_kind = make_matrix(axes={"scale": ["wide"]})
+        assert any("expects int" in e
+                   for e in bad_kind.validate_against_registry())
+        unknown = make_matrix(axes={"bogus": [1]})
+        assert any("unknown param" in e
+                   for e in unknown.validate_against_registry())
