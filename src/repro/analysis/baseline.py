@@ -1,0 +1,114 @@
+"""Committed lint baselines: adopt whole-program rules gradually.
+
+A baseline is a JSON file recording the findings that existed when a
+rule family landed.  ``python -m repro lint --project --baseline
+.lint-baseline.json`` then fails only on *new* findings: baselined ones
+are reported (flagged ``baselined``) but do not gate.
+
+Entries are keyed by ``path::rule::message`` with an occurrence count —
+deliberately **not** by line number, so unrelated edits that shift a
+finding up or down the file neither un-baseline it nor mask a genuinely
+new instance elsewhere.  If the same key fires more often than the
+committed count, the surplus findings gate as new.
+
+Entries whose finding no longer occurs are *stale* and reported so the
+file can be re-shrunk with ``--update-baseline`` (the baseline should
+only ever shrink).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import AnalysisError, Finding
+
+#: Schema tag of the baseline document.
+BASELINE_SCHEMA = "repro.analysis-baseline/v1"
+
+
+def finding_key(finding: Finding) -> str:
+    """The line-number-free identity of a finding."""
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+@dataclass
+class Baseline:
+    """Known findings, keyed by :func:`finding_key` with counts."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Baseline every unsuppressed finding in *findings*."""
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            key = finding_key(finding)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Baseline":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            raise AnalysisError(f"baseline file {path!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"baseline file {path!r}: invalid JSON ({exc})") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+            raise AnalysisError(
+                f"baseline file {path!r}: expected schema "
+                f"{BASELINE_SCHEMA!r}")
+        raw = doc.get("entries", {})
+        if not isinstance(raw, dict):
+            raise AnalysisError(f"baseline file {path!r}: entries must be "
+                                "an object of key -> count")
+        entries: Dict[str, int] = {}
+        for key, count in raw.items():
+            if (not isinstance(key, str) or not isinstance(count, int)
+                    or isinstance(count, bool) or count < 1):
+                raise AnalysisError(
+                    f"baseline file {path!r}: bad entry {key!r}: {count!r}")
+            entries[key] = count
+        return cls(entries=entries)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": BASELINE_SCHEMA,
+                "entries": {key: self.entries[key]
+                            for key in sorted(self.entries)}}
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[str]]:
+        """Mark known findings ``baselined``; return them plus stale keys.
+
+        Findings come back in input order.  Suppressed findings never
+        consume baseline budget.  The second element lists entries (one
+        per remaining count) that no current finding matched — stale
+        budget the baseline file should drop.
+        """
+        remaining = dict(self.entries)
+        marked: List[Finding] = []
+        for finding in findings:
+            if finding.suppressed:
+                marked.append(finding)
+                continue
+            key = finding_key(finding)
+            budget = remaining.get(key, 0)
+            if budget > 0:
+                remaining[key] = budget - 1
+                marked.append(replace(finding, baselined=True))
+            else:
+                marked.append(finding)
+        stale = [key for key in sorted(remaining)
+                 for _ in range(remaining[key])]
+        return marked, stale

@@ -17,9 +17,17 @@ from __future__ import annotations
 
 import ast
 import enum
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.net.errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """The lint engine was misconfigured (unknown rule, bad path...)."""
 
 
 class Severity(enum.Enum):
@@ -40,6 +48,8 @@ class Finding:
     severity: Severity
     message: str
     suppressed: bool = False
+    #: ``True`` when a committed baseline entry absorbs this finding.
+    baselined: bool = False
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
@@ -47,15 +57,21 @@ class Finding:
     def to_dict(self) -> Dict[str, object]:
         return {"path": self.path, "line": self.line, "col": self.col,
                 "rule": self.rule_id, "severity": self.severity.value,
-                "message": self.message, "suppressed": self.suppressed}
+                "message": self.message, "suppressed": self.suppressed,
+                "baselined": self.baselined}
 
     def format(self) -> str:
-        flag = " (suppressed)" if self.suppressed else ""
+        flag = ""
+        if self.suppressed:
+            flag = " (suppressed)"
+        elif self.baselined:
+            flag = " (baselined)"
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.rule_id} [{self.severity.value}] {self.message}{flag}")
 
 
-#: ``# repro: allow[D1]`` / ``# repro: allow[D1, D3]`` / ``# repro: allow[*]``
+#: Pragma shapes: ``allow[D1]``, ``allow[D1, D3]``, ``allow[*]``, each
+#: in a trailing comment after the ``repro:`` marker.
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
 
 #: Matches every rule id in an ``allow[*]`` comment.
@@ -63,10 +79,15 @@ ALLOW_ALL = "*"
 
 
 def parse_allow_comments(text: str) -> Dict[int, Set[str]]:
-    """Line number (1-based) -> rule ids allowed on that line."""
+    """Line number (1-based) -> rule ids allowed on that line.
+
+    Only genuine ``#`` comments count: a pragma *mentioned* in a
+    docstring or string literal neither suppresses anything nor trips
+    the unused-suppression warning.
+    """
     allowed: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
+    for lineno, comment in _comment_lines(text):
+        match = _ALLOW_RE.search(comment)
         if match is None:
             continue
         rules = {part.strip() for part in match.group(1).split(",")
@@ -74,6 +95,23 @@ def parse_allow_comments(text: str) -> Dict[int, Set[str]]:
         if rules:
             allowed[lineno] = rules
     return allowed
+
+
+def _comment_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """(lineno, comment text) for every real comment token in *text*.
+
+    Falls back to a whole-line regex scan if tokenization fails — on
+    files that do not parse, over-matching beats losing suppressions.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            yield lineno, line
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.string
 
 
 @dataclass
@@ -85,25 +123,46 @@ class SourceFile:
     tree: ast.Module
     #: Per-line suppressions, scope suppressions already expanded.
     allow: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Raw pragma comments as written: line -> tokens (rule ids or ``*``).
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Effective line -> token -> pragma lines the token expanded from.
+    allow_origins: Dict[int, Dict[str, Set[int]]] = field(default_factory=dict)
+    #: ``(pragma_line, token)`` pairs that suppressed at least one finding.
+    used_allows: Set[Tuple[int, str]] = field(default_factory=set)
 
     @classmethod
     def parse(cls, path: str, text: str) -> "SourceFile":
         tree = ast.parse(text, filename=path)
-        allow = parse_allow_comments(text)
-        _expand_scope_allows(tree, allow)
-        return cls(path=path, text=text, tree=tree, allow=allow)
+        pragmas = parse_allow_comments(text)
+        allow = {line: set(tokens) for line, tokens in pragmas.items()}
+        origins = {line: {token: {line} for token in tokens}
+                   for line, tokens in pragmas.items()}
+        _expand_scope_allows(tree, allow, origins)
+        return cls(path=path, text=text, tree=tree, allow=allow,
+                   pragmas=pragmas, allow_origins=origins)
 
     def is_allowed(self, rule_id: str, line: int) -> bool:
-        """Is *rule_id* suppressed at *line* (same line or the one above)?"""
+        """Is *rule_id* suppressed at *line* (same line or the one above)?
+
+        A hit also records which pragma satisfied it, so the engine's
+        ``--warn-unused-suppressions`` pass can flag the stale ones.
+        """
+        hit = False
         for candidate in (line, line - 1):
             rules = self.allow.get(candidate)
-            if rules and (rule_id in rules or ALLOW_ALL in rules):
-                return True
-        return False
+            if not rules:
+                continue
+            origins = self.allow_origins.get(candidate, {})
+            for token in (rule_id, ALLOW_ALL):
+                if token in rules:
+                    hit = True
+                    for pragma_line in origins.get(token, ()):
+                        self.used_allows.add((pragma_line, token))
+        return hit
 
 
-def _expand_scope_allows(tree: ast.Module,
-                         allow: Dict[int, Set[str]]) -> None:
+def _expand_scope_allows(tree: ast.Module, allow: Dict[int, Set[str]],
+                         origins: Dict[int, Dict[str, Set[int]]]) -> None:
     """An allow on a ``def``/``class`` line covers the whole scope."""
     scope_nodes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
     for node in ast.walk(tree):
@@ -112,6 +171,14 @@ def _expand_scope_allows(tree: ast.Module,
         rules = allow.get(node.lineno)
         if not rules:
             continue
+        tokens = set(rules)
+        # Tokens already expanded onto this line (e.g. from an enclosing
+        # class pragma) keep their original pragma line as origin.
+        source_origins = dict(origins.get(node.lineno, {}))
         end = node.end_lineno if node.end_lineno is not None else node.lineno
         for line in range(node.lineno, end + 1):
-            allow.setdefault(line, set()).update(rules)
+            allow.setdefault(line, set()).update(tokens)
+            per_line = origins.setdefault(line, {})
+            for token in tokens:
+                per_line.setdefault(token, set()).update(
+                    source_origins.get(token, {node.lineno}))

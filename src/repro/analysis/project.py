@@ -1,0 +1,1373 @@
+"""Pass 1 of the whole-program analyzer: the project index.
+
+:class:`ProjectIndex` is built once per ``lint --project`` run from the
+same parsed :class:`~repro.analysis.findings.SourceFile` objects the
+per-file rules consume (one parse per file, shared everywhere).  It
+holds everything the C/P/S rule families (pass 2) need:
+
+* the **module table** — imports, module-level constants, module-level
+  mutable containers, classes, and every function (nested ones
+  included) with its raw call sites;
+* the **call graph** — name-based and deliberately over-approximate:
+  a ``self.x()`` call resolves through the class's base chain, a bare
+  name through module scope and imports, and an ``obj.x()`` call to
+  *every* project function named ``x`` (we would rather follow an edge
+  that cannot happen than miss one that can);
+* **workload roots** — runners registered through
+  :func:`repro.experiments.base.register`, in both the decorator form
+  and the ``register(...)(factory(...))`` form (factory-returned nested
+  runners are resolved to the nested function);
+* **emitters and validators** keyed by schema version string — every
+  dict literal carrying a resolvable ``"schema"`` key, and every
+  function that compares a document's ``schema`` entry against a
+  schema constant, with the keys it requires/accepts extracted
+  structurally.
+
+The index is pure data plus closure helpers; rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.analysis.findings import SourceFile
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Modules whose ``register`` symbol marks a workload root.
+_REGISTER_MODULES = frozenset({"repro.experiments", "repro.experiments.base"})
+
+#: Call names that construct leak-prone resources (closure-capture rule).
+RESOURCE_FACTORIES = frozenset({
+    "open", "Tracer", "for_cell", "Pool", "ThreadPool",
+    "ProcessPoolExecutor", "ThreadPoolExecutor", "TemporaryFile",
+    "NamedTemporaryFile",
+})
+
+#: Method names that mutate a container in place.
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "update", "setdefault", "pop", "popitem",
+    "remove", "discard", "clear", "extend", "insert",
+})
+
+#: Constructor calls whose result is a mutable container.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path (``src/`` prefixes stripped).
+
+    ``src/repro/net/network.py`` -> ``repro.net.network``;
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``.
+    """
+    parts = list(PurePosixPath(path.replace("\\", "/")).parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "<module>"
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, pre-resolution."""
+
+    node: ast.Call
+    #: Terminal callee name (``f`` for ``f()``, ``m`` for ``a.b.m()``).
+    name: str
+    #: ``True`` when the callee is a bare ``Name`` (not an attribute).
+    is_bare: bool
+    #: Receiver's terminal name for attribute calls (``''`` otherwise).
+    receiver: str
+    #: ``True`` when the receiver chain starts at ``self``/``cls``.
+    via_self: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method, or nested function) in the project."""
+
+    key: str
+    module: str
+    path: str
+    name: str
+    qual: str
+    node: ast.AST
+    class_name: Optional[str] = None
+    parent: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+    #: Names bound locally (params, assignments, loop/with targets).
+    local_names: Set[str] = field(default_factory=set)
+    #: Names declared ``global`` in this function.
+    global_decls: Set[str] = field(default_factory=set)
+    #: Keys of nested functions defined directly inside this one.
+    nested: List[str] = field(default_factory=list)
+    #: Function names returned by ``return <name>`` statements.
+    returned_names: Set[str] = field(default_factory=set)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, attribute table, and base-name chain."""
+
+    key: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)
+    attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class EmitterInfo:
+    """A dict literal that stamps a ``"schema"`` version tag."""
+
+    module: str
+    path: str
+    schema: str
+    node: ast.Dict
+    function: Optional[str]
+    keys: Set[str] = field(default_factory=set)
+    #: ``True`` when the literal has ``**spread`` or computed keys, in
+    #: which case the key set is a lower bound and S-rules stand down.
+    dynamic: bool = False
+
+
+@dataclass
+class ValidatorInfo:
+    """A function that structurally validates one (or more) schemas."""
+
+    module: str
+    path: str
+    function: str
+    node: ast.AST
+    schemas: Tuple[str, ...]
+    #: Keys the validator unconditionally dereferences — an emitter for
+    #: the schema that omits one of these is a drift bug.
+    required: Set[str] = field(default_factory=set)
+    #: Keys referenced with defaults / None-guards / in branches.
+    optional: Set[str] = field(default_factory=set)
+    #: Keys known only through helper calls or call-site strings.
+    known: Set[str] = field(default_factory=set)
+    #: ``True`` when the validator iterates ``doc.items()``/``keys()``
+    #: — an open schema, so unknown emitter keys are fine.
+    open_schema: bool = False
+
+    def all_known(self) -> Set[str]:
+        return self.required | self.optional | self.known
+
+
+@dataclass
+class ModuleInfo:
+    """Everything indexed about one source module."""
+
+    name: str
+    path: str
+    source: SourceFile
+    #: Local alias -> (module, symbol-or-None).  ``import a.b as c``
+    #: maps ``c -> ("a.b", None)``; ``from m import f as g`` maps
+    #: ``g -> ("m", "f")``.
+    imports: Dict[str, Tuple[str, Optional[str]]] = field(default_factory=dict)
+    #: Module-level simple assignments, for constant resolution.
+    const_nodes: Dict[str, ast.expr] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers -> lineno.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level function names referenced as values (first-class).
+    escaped: Set[str] = field(default_factory=set)
+    #: Raw call nodes at module level (registration scans need them).
+    module_calls: List[ast.Call] = field(default_factory=list)
+
+
+class ProjectIndex:
+    """The whole-program index (pass 1)."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: function name -> keys of every project function with it.
+        self.functions_by_name: Dict[str, List[str]] = {}
+        #: Resolved call graph and its reverse.
+        self.calls_out: Dict[str, Set[str]] = {}
+        self.calls_in: Dict[str, Set[str]] = {}
+        #: Registered workload-runner function keys.
+        self.workload_roots: Set[str] = set()
+        #: schema tag -> emitters / validators.
+        self.emitters: Dict[str, List[EmitterInfo]] = {}
+        self.validators: Dict[str, List[ValidatorInfo]] = {}
+        #: (module, name) of module mutables mutated in place anywhere.
+        self.mutated_globals: Set[Tuple[str, str]] = set()
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, sources: Mapping[str, SourceFile]) -> "ProjectIndex":
+        """Index *sources* (path -> parsed file, shared with pass 2)."""
+        index = cls()
+        for path in sorted(sources):
+            index._index_module(path, sources[path])
+        index._link()
+        return index
+
+    def _index_module(self, path: str, source: SourceFile) -> None:
+        name = module_name_for_path(path)
+        info = ModuleInfo(name=name, path=path, source=source)
+        self.modules[name] = info
+        self.by_path[path] = info
+        _ModuleIndexer(self, info).run()
+
+    def _link(self) -> None:
+        """Resolve calls, roots, emitters, and validators (needs every
+        module indexed first)."""
+        for info in self.functions.values():
+            self.functions_by_name.setdefault(info.name, []).append(info.key)
+        for keys in self.functions_by_name.values():
+            keys.sort()
+        self._resolve_calls()
+        self._find_workload_roots()
+        self._find_emitters()
+        self._find_validators()
+        self._find_mutated_globals()
+
+    # -- constant resolution ------------------------------------------------
+    def resolve_const(self, module: str, expr: Optional[ast.expr],
+                      depth: int = 0) -> object:
+        """Best-effort constant value of *expr* in *module*'s scope.
+
+        Follows module-level assignments and imports up to a small
+        depth; returns ``None`` when the value cannot be determined
+        statically.  Containers resolve element-wise with unresolvable
+        elements dropped (enough for schema-tag tuples).
+        """
+        if expr is None or depth > 6:
+            return None
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            values = [self.resolve_const(module, element, depth + 1)
+                      for element in expr.elts]
+            return tuple(v for v in values if v is not None)
+        if isinstance(expr, ast.Name):
+            if expr.id in mod.const_nodes:
+                return self.resolve_const(module, mod.const_nodes[expr.id],
+                                          depth + 1)
+            target = mod.imports.get(expr.id)
+            if target is not None and target[1] is not None:
+                other = self.modules.get(target[0])
+                if other is not None and target[1] in other.const_nodes:
+                    return self.resolve_const(
+                        other.name, other.const_nodes[target[1]], depth + 1)
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value,
+                                                          ast.Name):
+            target = mod.imports.get(expr.value.id)
+            if target is not None and target[1] is None:
+                other = self.modules.get(target[0])
+                if other is not None and expr.attr in other.const_nodes:
+                    return self.resolve_const(
+                        other.name, other.const_nodes[expr.attr], depth + 1)
+        return None
+
+    def resolve_field_table(self, module: str,
+                            name: str) -> Optional[List[str]]:
+        """First elements of a module-level tuple-of-tuples table.
+
+        Resolves the ``_FIELDS = (("name", types, nullable), ...)``
+        idiom the hand-rolled validators use; the non-constant columns
+        (type objects) are ignored.
+        """
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        node = mod.const_nodes.get(name)
+        if node is None:
+            target = mod.imports.get(name)
+            if target is not None and target[1] is not None:
+                other = self.modules.get(target[0])
+                if other is not None:
+                    return self.resolve_field_table(other.name, target[1])
+            return None
+        if not isinstance(node, (ast.Tuple, ast.List)):
+            return None
+        fields: List[str] = []
+        for element in node.elts:
+            if (isinstance(element, (ast.Tuple, ast.List)) and element.elts
+                    and isinstance(element.elts[0], ast.Constant)
+                    and isinstance(element.elts[0].value, str)):
+                fields.append(element.elts[0].value)
+        return fields or None
+
+    # -- call graph ---------------------------------------------------------
+    def _resolve_calls(self) -> None:
+        for key in self.functions:
+            self.calls_out.setdefault(key, set())
+            self.calls_in.setdefault(key, set())
+        for info in self.functions.values():
+            out = self.calls_out[info.key]
+            for nested in info.nested:
+                out.add(nested)
+            for call in info.calls:
+                for target in self._resolve_call(info, call):
+                    out.add(target)
+            out.discard(info.key)
+            for target in out:
+                self.calls_in.setdefault(target, set()).add(info.key)
+
+    def _resolve_call(self, caller: FunctionInfo,
+                      call: CallSite) -> Iterable[str]:
+        mod = self.modules[caller.module]
+        if call.is_bare:
+            return self._resolve_bare_call(caller, mod, call)
+        if call.via_self and caller.class_name is not None:
+            found = self._resolve_self_call(mod, caller.class_name, call.name)
+            if found is not None:
+                return [found]
+        receiver_target = mod.imports.get(call.receiver)
+        if receiver_target is not None and receiver_target[1] is None:
+            other = self.modules.get(receiver_target[0])
+            if other is not None:
+                target_key = f"{other.name}:{call.name}"
+                if target_key in self.functions:
+                    return [target_key]
+                if call.name in other.classes:
+                    init = other.classes[call.name].methods.get("__init__")
+                    return [init] if init else []
+        # Over-approximate: any project *method or nested function* with
+        # this name.  Module-level functions are excluded on purpose —
+        # they are only ever reached through imports, which the exact
+        # branches above resolve; linking `obj.run()` to every plain
+        # function named ``run`` would wire unrelated subsystems
+        # together and drown the P-rules in phantom paths.
+        return [key for key in self.functions_by_name.get(call.name, [])
+                if self.functions[key].class_name is not None
+                or self.functions[key].parent is not None]
+
+    def _resolve_bare_call(self, caller: FunctionInfo, mod: ModuleInfo,
+                           call: CallSite) -> Iterable[str]:
+        name = call.name
+        # A sibling nested function or the enclosing scope's nested defs.
+        scope: Optional[FunctionInfo] = caller
+        while scope is not None:
+            for nested_key in scope.nested:
+                if self.functions[nested_key].name == name:
+                    return [nested_key]
+            scope = (self.functions.get(scope.parent)
+                     if scope.parent else None)
+        module_key = f"{mod.name}:{name}"
+        if module_key in self.functions:
+            return [module_key]
+        if name in mod.classes:
+            init = mod.classes[name].methods.get("__init__")
+            return [init] if init else []
+        target = mod.imports.get(name)
+        if target is not None and target[1] is not None:
+            other = self.modules.get(target[0])
+            if other is not None:
+                imported_key = f"{other.name}:{target[1]}"
+                if imported_key in self.functions:
+                    return [imported_key]
+                if target[1] in other.classes:
+                    init = other.classes[target[1]].methods.get("__init__")
+                    return [init] if init else []
+            return []
+        if name in caller.local_names:
+            # First-class callable: fall back to functions that escape
+            # as values in this module (factories, workload tables).
+            return self._escaped_keys(mod)
+        return []
+
+    def _escaped_keys(self, mod: ModuleInfo) -> List[str]:
+        keys: List[str] = []
+        for info in mod.functions.values():
+            if info.name in mod.escaped:
+                keys.append(info.key)
+        return sorted(keys)
+
+    def _resolve_self_call(self, mod: ModuleInfo, class_name: str,
+                           method: str, depth: int = 0) -> Optional[str]:
+        if depth > 8:
+            return None
+        cls = mod.classes.get(class_name)
+        if cls is None:
+            target = mod.imports.get(class_name)
+            if target is not None and target[1] is not None:
+                other = self.modules.get(target[0])
+                if other is not None:
+                    return self._resolve_self_call(other, target[1], method,
+                                                   depth + 1)
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            found = self._resolve_self_call(mod, base, method, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    # -- closures -----------------------------------------------------------
+    def callee_closure(self, roots: Iterable[str]) -> Set[str]:
+        """*roots* plus everything transitively called from them."""
+        return self._closure(roots, self.calls_out)
+
+    def caller_closure(self, roots: Iterable[str]) -> Set[str]:
+        """*roots* plus everything that transitively calls them."""
+        return self._closure(roots, self.calls_in)
+
+    @staticmethod
+    def _closure(roots: Iterable[str],
+                 edges: Mapping[str, Set[str]]) -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(edges.get(key, ()))
+        return seen
+
+    def functions_calling(self, names: FrozenSet[str]) -> Set[str]:
+        """Keys of functions containing a direct call to any of *names*
+        (terminal-name match, so ``self._on_state_change()`` counts)."""
+        found: Set[str] = set()
+        for info in self.functions.values():
+            for call in info.calls:
+                if call.name in names:
+                    found.add(info.key)
+                    break
+        return found
+
+    # -- workload roots -----------------------------------------------------
+    def _find_workload_roots(self) -> None:
+        for mod in self.modules.values():
+            for info in list(mod.functions.values()):
+                decorators = getattr(info.node, "decorator_list", [])
+                for decorator in decorators:
+                    if (isinstance(decorator, ast.Call)
+                            and self._is_register_ref(mod, decorator.func)):
+                        self.workload_roots.add(info.key)
+            calls: List[ast.Call] = list(mod.module_calls)
+            for info in mod.functions.values():
+                calls.extend(call.node for call in info.calls)
+            for call in calls:
+                self._scan_register_call(mod, call)
+
+    def _is_register_ref(self, mod: ModuleInfo, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            target = mod.imports.get(func.id)
+            return (target is not None and target[1] == "register"
+                    and target[0] in _REGISTER_MODULES)
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            target = mod.imports.get(func.value.id)
+            if func.attr != "register" or target is None:
+                return False
+            # ``import repro.experiments.base as base`` or
+            # ``from repro.experiments import base``.
+            referenced = (target[0] if target[1] is None
+                          else f"{target[0]}.{target[1]}")
+            return referenced in _REGISTER_MODULES
+        return False
+
+    def _scan_register_call(self, mod: ModuleInfo, call: ast.Call) -> None:
+        """Handle ``register(...)(runner_or_factory_call)``."""
+        if not (isinstance(call.func, ast.Call)
+                and self._is_register_ref(mod, call.func.func)):
+            return
+        if not call.args:
+            return
+        argument = call.args[0]
+        if isinstance(argument, ast.Name):
+            key = f"{mod.name}:{argument.id}"
+            if key in self.functions:
+                self.workload_roots.add(key)
+        elif isinstance(argument, ast.Call) and isinstance(argument.func,
+                                                           ast.Name):
+            factory_key = f"{mod.name}:{argument.func.id}"
+            factory = self.functions.get(factory_key)
+            if factory is None:
+                return
+            for nested_key in factory.nested:
+                nested = self.functions[nested_key]
+                if nested.name in factory.returned_names:
+                    self.workload_roots.add(nested_key)
+
+    def runner_reachable(self) -> Set[str]:
+        """Function keys reachable from any registered workload runner."""
+        return self.callee_closure(self.workload_roots)
+
+    # -- emitters -----------------------------------------------------------
+    def _find_emitters(self) -> None:
+        for mod in self.modules.values():
+            _EmitterScanner(self, mod).run()
+
+    def _find_validators(self) -> None:
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                validator = _extract_validator(self, mod, info)
+                if validator is None:
+                    continue
+                for schema in validator.schemas:
+                    self.validators.setdefault(schema, []).append(validator)
+
+    # -- mutated module globals --------------------------------------------
+    def _find_mutated_globals(self) -> None:
+        """Record module-level mutables mutated *in place* anywhere.
+
+        Reassignment through ``global`` is excluded on purpose: context
+        managers that swap a module default in/out are deterministic
+        under the fleet contract, while in-place container mutation
+        from a worker is not.
+        """
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                for name in _inplace_mutations(info, mod):
+                    self.mutated_globals.add((mod.name, name))
+
+
+def global_mutable_target(info: FunctionInfo, mod: ModuleInfo,
+                          name: str) -> Optional[Tuple[str, str]]:
+    """Resolve *name* to a module-level mutable ``(module, name)``.
+
+    Checks the function's own module first, then ``from m import name``
+    targets; returns ``None`` for locals and non-mutables.
+    """
+    if name in info.local_names:
+        return None
+    if name in mod.mutable_globals:
+        return (mod.name, name)
+    target = mod.imports.get(name)
+    if target is not None and target[1] is not None:
+        return (target[0], target[1])
+    return None
+
+
+def _inplace_mutations(info: FunctionInfo, mod: ModuleInfo) -> Set[str]:
+    """Names of module-level mutables this function mutates in place."""
+    mutated: Set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)):
+                    name = target.value.id
+                    if (name not in info.local_names
+                            and (name in mod.mutable_globals
+                                 or name in info.global_decls)):
+                        mutated.add(name)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)):
+                name = func.value.id
+                if (name not in info.local_names
+                        and (name in mod.mutable_globals
+                             or name in info.global_decls)):
+                    mutated.add(name)
+    return mutated
+
+
+# ---------------------------------------------------------------------------
+# module indexing walk
+# ---------------------------------------------------------------------------
+
+
+class _ModuleIndexer:
+    """One recursive walk building a :class:`ModuleInfo`."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo) -> None:
+        self.index = index
+        self.mod = mod
+
+    def run(self) -> None:
+        tree = self.mod.source.tree
+        self._index_imports(tree)
+        self._index_module_level(tree)
+        for stmt in tree.body:
+            self._walk_stmt(stmt, class_name=None, qual_prefix="",
+                            parent=None)
+        self._index_escapes(tree)
+
+    # -- imports and constants ---------------------------------------------
+    def _index_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.mod.imports[bound] = (target, None)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = self.mod.name.split(".")
+                    # level 1 = current package; strip one extra part
+                    # when this module is not itself a package __init__.
+                    if not self.mod.path.endswith("__init__.py"):
+                        prefix_parts = prefix_parts[:-1]
+                    for _ in range(node.level - 1):
+                        prefix_parts = prefix_parts[:-1]
+                    base = ".".join(prefix_parts + ([base] if base else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.mod.imports[bound] = (base, alias.name)
+
+    def _index_module_level(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                           ast.Call):
+                self.mod.module_calls.append(stmt.value)
+                for call in ast.walk(stmt.value):
+                    if isinstance(call, ast.Call) and call is not stmt.value:
+                        self.mod.module_calls.append(call)
+                continue
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                self.mod.const_nodes[target.id] = value
+                if _is_mutable_value(value):
+                    self.mod.mutable_globals[target.id] = stmt.lineno
+            for call in ast.walk(value):
+                if isinstance(call, ast.Call):
+                    self.mod.module_calls.append(call)
+
+    # -- scope walk ---------------------------------------------------------
+    def _walk_stmt(self, stmt: ast.stmt, class_name: Optional[str],
+                   qual_prefix: str, parent: Optional[str]) -> None:
+        if isinstance(stmt, _FUNCTION_NODES):
+            self._index_function(stmt, class_name, qual_prefix, parent)
+        elif isinstance(stmt, ast.ClassDef):
+            self._index_class(stmt, qual_prefix)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._walk_stmt(child, class_name, qual_prefix, parent)
+
+    def _index_class(self, node: ast.ClassDef, qual_prefix: str) -> None:
+        qual = f"{qual_prefix}{node.name}"
+        cls = ClassInfo(key=f"{self.mod.name}:{qual}", module=self.mod.name,
+                        name=node.name, node=node,
+                        bases=[_terminal_name(base) for base in node.bases
+                               if _terminal_name(base)])
+        self.mod.classes[node.name] = cls
+        self.index.classes[cls.key] = cls
+        for stmt in node.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                info = self._index_function(stmt, node.name, f"{qual}.",
+                                            parent=None)
+                cls.methods[stmt.name] = info.key
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, (ast.Assign, ast.AnnAssign))
+                            and _self_attr_targets(sub)):
+                        cls.attrs.update(_self_attr_targets(sub))
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                                ast.Name):
+                cls.attrs.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        cls.attrs.add(target.id)
+
+    def _index_function(self, node: ast.AST, class_name: Optional[str],
+                        qual_prefix: str,
+                        parent: Optional[str]) -> FunctionInfo:
+        name = getattr(node, "name", "<lambda>")
+        qual = f"{qual_prefix}{name}"
+        key = f"{self.mod.name}:{qual}"
+        info = FunctionInfo(key=key, module=self.mod.name, path=self.mod.path,
+                            name=name, qual=qual, node=node,
+                            class_name=class_name, parent=parent)
+        self.mod.functions[key] = info
+        self.index.functions[key] = info
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in (list(args.posonlyargs) + list(args.args)
+                        + list(args.kwonlyargs)):
+                info.local_names.add(arg.arg)
+            if args.vararg:
+                info.local_names.add(args.vararg.arg)
+            if args.kwarg:
+                info.local_names.add(args.kwarg.arg)
+        self._scan_scope(info, node, class_name, qual)
+        return info
+
+    def _scan_scope(self, info: FunctionInfo, node: ast.AST,
+                    class_name: Optional[str], qual: str) -> None:
+        body: Sequence[ast.stmt] = getattr(node, "body", [])
+        stack: List[ast.AST] = list(body)
+        while stack:
+            child = stack.pop()
+            if isinstance(child, _FUNCTION_NODES):
+                nested = self._index_function(
+                    child, class_name, f"{qual}.<locals>.", parent=info.key)
+                info.nested.append(nested.key)
+                info.local_names.add(nested.name)
+                continue
+            if isinstance(child, ast.ClassDef):
+                info.local_names.add(child.name)
+                continue  # local classes: rare, skipped
+            if isinstance(child, ast.Lambda):
+                # Lambdas stay part of the enclosing function's scope;
+                # their calls count as the enclosing function's calls.
+                stack.append(child.body)
+                continue
+            if isinstance(child, ast.Global):
+                info.global_decls.update(child.names)
+            elif isinstance(child, ast.Call):
+                info.calls.append(_call_site(child))
+            elif isinstance(child, ast.Return) and isinstance(child.value,
+                                                              ast.Name):
+                info.returned_names.add(child.value.id)
+            for target_holder in _binding_targets(child):
+                info.local_names.update(_flat_names(target_holder))
+            stack.extend(ast.iter_child_nodes(child))
+
+    def _index_escapes(self, tree: ast.Module) -> None:
+        call_funcs = {id(node.func) for node in ast.walk(tree)
+                      if isinstance(node, ast.Call)}
+        function_names = {info.name for info in self.mod.functions.values()}
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+                    and node.id in function_names
+                    and id(node) not in call_funcs):
+                self.mod.escaped.add(node.id)
+
+
+def _call_site(node: ast.Call) -> CallSite:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return CallSite(node=node, name=func.id, is_bare=True, receiver="",
+                        via_self=False)
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        root = receiver
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        via_self = isinstance(root, ast.Name) and root.id in ("self", "cls")
+        return CallSite(node=node, name=func.attr, is_bare=False,
+                        receiver=_terminal_name(receiver), via_self=via_self)
+    return CallSite(node=node, name="", is_bare=False, receiver="",
+                    via_self=False)
+
+
+def _binding_targets(node: ast.AST) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    if isinstance(node, ast.For):
+        return [node.target]
+    if isinstance(node, ast.withitem) and node.optional_vars is not None:
+        return [node.optional_vars]
+    if isinstance(node, ast.comprehension):
+        return [node.target]
+    if isinstance(node, ast.ExceptHandler) and node.name:
+        return []  # handler names: strings, handled below
+    return []
+
+
+def _flat_names(target: ast.expr) -> Set[str]:
+    """Names a binding target actually binds.
+
+    ``x[k] = v`` and ``x.a = v`` mutate an existing object rather than
+    binding ``x``, so subscript/attribute targets contribute nothing.
+    """
+    names: Set[str] = set()
+    stack: List[ast.expr] = [target]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+    return names
+
+
+def _self_attr_targets(stmt: ast.AST) -> Set[str]:
+    attrs: Set[str] = set()
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+    for target in targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            attrs.add(target.attr)
+    return attrs
+
+
+def _is_mutable_value(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _terminal_name(value.func) in _MUTABLE_FACTORIES
+    return False
+
+
+# ---------------------------------------------------------------------------
+# emitter extraction
+# ---------------------------------------------------------------------------
+
+
+class _EmitterScanner:
+    """Find schema-stamped dict literals and their augmented keys."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo) -> None:
+        self.index = index
+        self.mod = mod
+
+    def run(self) -> None:
+        for info in self.mod.functions.values():
+            for node in self._own_nodes(info.node):
+                if isinstance(node, ast.Dict):
+                    self._check_dict(node, info)
+
+    def _own_nodes(self, func_node: ast.AST) -> Iterable[ast.AST]:
+        stack: List[ast.AST] = list(
+            ast.iter_child_nodes(func_node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_dict(self, node: ast.Dict, info: FunctionInfo) -> None:
+        schema: Optional[str] = None
+        keys: Set[str] = set()
+        dynamic = False
+        for key_node, value_node in zip(node.keys, node.values):
+            if key_node is None:  # ** spread
+                dynamic = True
+                continue
+            if not (isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)):
+                dynamic = True
+                continue
+            keys.add(key_node.value)
+            if key_node.value == "schema":
+                resolved = self.index.resolve_const(self.mod.name, value_node)
+                if isinstance(resolved, str):
+                    schema = resolved
+        if schema is None:
+            return
+        emitter = EmitterInfo(module=self.mod.name, path=self.mod.path,
+                              schema=schema, node=node, function=info.key,
+                              keys=keys, dynamic=dynamic)
+        self._augment(emitter, node, info)
+        self.index.emitters.setdefault(schema, []).append(emitter)
+
+    def _augment(self, emitter: EmitterInfo, node: ast.Dict,
+                 info: FunctionInfo) -> None:
+        """Fold ``doc["k"] = ...`` augmentations on the literal's name."""
+        bound: Optional[str] = None
+        for candidate in self._own_nodes(info.node):
+            if (isinstance(candidate, ast.Assign)
+                    and candidate.value is node
+                    and len(candidate.targets) == 1
+                    and isinstance(candidate.targets[0], ast.Name)):
+                bound = candidate.targets[0].id
+            elif (isinstance(candidate, ast.AnnAssign)
+                    and candidate.value is node
+                    and isinstance(candidate.target, ast.Name)):
+                bound = candidate.target.id
+        if bound is None:
+            return
+        for candidate in self._own_nodes(info.node):
+            if isinstance(candidate, ast.Assign):
+                for target in candidate.targets:
+                    key = _const_subscript_key(target, bound)
+                    if key is not None:
+                        emitter.keys.add(key)
+            elif isinstance(candidate, ast.Call):
+                func = candidate.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == bound
+                        and func.attr == "setdefault"
+                        and candidate.args
+                        and isinstance(candidate.args[0], ast.Constant)
+                        and isinstance(candidate.args[0].value, str)):
+                    emitter.keys.add(candidate.args[0].value)
+
+
+def _const_subscript_key(target: ast.expr, bound: str) -> Optional[str]:
+    if (isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == bound
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)):
+        return target.slice.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# validator extraction
+# ---------------------------------------------------------------------------
+
+
+def _extract_validator(index: ProjectIndex, mod: ModuleInfo,
+                       info: FunctionInfo) -> Optional[ValidatorInfo]:
+    """Recognize a structural validator and extract its key sets.
+
+    A validator is a function that compares a document's ``schema``
+    entry (``doc.get("schema")`` / ``doc["schema"]``, possibly through
+    a local name) against one or more schema version strings.  Key
+    references on the document variable are then classified:
+
+    * ``doc["k"]`` / ``"k" in doc`` / bare ``doc.get("k")`` at the
+      function's unconditional level -> **required**;
+    * ``doc.get("k", default)``, accesses inside ``if`` branches, and
+      gets whose result is ``is None``-guarded -> **optional**;
+    * keys only seen through same-module helper calls (or string
+      literals passed alongside the doc) -> **known**;
+    * field tables (``for name, ... in _FIELDS:`` + ``doc[name]``)
+      resolve to **required** keys.
+    """
+    finder = _SchemaCompareFinder(index, mod)
+    finder.visit_function(info.node)
+    if finder.doc_var is None or not finder.schemas:
+        return None
+    validator = ValidatorInfo(module=mod.name, path=mod.path,
+                              function=info.key, node=info.node,
+                              schemas=tuple(sorted(set(finder.schemas))))
+    collector = _DocKeyCollector(index, mod, info, finder.doc_var, validator)
+    collector.run()
+    return validator
+
+
+class _SchemaCompareFinder:
+    """Locate the schema comparison that marks a validator.
+
+    A validator may compare several variables against schema tags (the
+    fleet validator also checks its *embedded* matrix document), so the
+    matches are grouped per variable and the function's own parameter
+    wins — a validator validates what it was handed.
+    """
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo) -> None:
+        self.index = index
+        self.mod = mod
+        self.doc_var: Optional[str] = None
+        self.schemas: List[str] = []
+        #: local name -> doc var it was read from (``s = doc.get("schema")``).
+        self._schema_locals: Dict[str, str] = {}
+        #: (first lineno, var) -> schema strings compared against it.
+        self._matches: List[Tuple[int, str, List[str]]] = []
+
+    def visit_function(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                self._note_assignment(child)
+        for child in ast.walk(node):
+            if isinstance(child, ast.Compare):
+                self._check_compare(child)
+        self._choose(node)
+
+    def _choose(self, node: ast.AST) -> None:
+        if not self._matches:
+            return
+        self._matches.sort(key=lambda match: match[0])
+        params: List[str] = []
+        args = getattr(node, "args", None)
+        if args is not None:
+            params = [arg.arg for arg in
+                      (list(args.posonlyargs) + list(args.args)
+                       + list(args.kwonlyargs))]
+        chosen = self._matches[0][1]
+        for _, var, _ in self._matches:
+            if var in params:
+                chosen = var
+                break
+        self.doc_var = chosen
+        for _, var, values in self._matches:
+            if var == chosen:
+                self.schemas.extend(values)
+
+    def _note_assignment(self, stmt: ast.AST) -> None:
+        value = getattr(stmt, "value", None)
+        doc = _schema_access_receiver(value)
+        if doc is None:
+            return
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])  # type: ignore[attr-defined]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._schema_locals[target.id] = doc
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        doc: Optional[str] = None
+        values: List[str] = []
+        for operand in operands:
+            receiver = _schema_access_receiver(operand)
+            if receiver is not None:
+                doc = receiver
+                continue
+            if (isinstance(operand, ast.Name)
+                    and operand.id in self._schema_locals):
+                doc = self._schema_locals[operand.id]
+                continue
+            resolved = self.index.resolve_const(self.mod.name, operand)
+            if isinstance(resolved, str):
+                values.append(resolved)
+            elif isinstance(resolved, tuple):
+                values.extend(v for v in resolved if isinstance(v, str))
+        if doc is not None and values:
+            self._matches.append((getattr(node, "lineno", 0), doc, values))
+
+
+def _schema_access_receiver(node: Optional[ast.AST]) -> Optional[str]:
+    """``doc`` for ``doc.get("schema"[, d])`` / ``doc["schema"]``."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "get"
+                and isinstance(func.value, ast.Name) and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "schema"):
+            return func.value.id
+    if (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == "schema"):
+        return node.value.id
+    return None
+
+
+class _DocKeyCollector:
+    """Classify every key reference on the validator's doc variable."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo,
+                 info: FunctionInfo, doc_var: str,
+                 validator: ValidatorInfo) -> None:
+        self.index = index
+        self.mod = mod
+        self.info = info
+        self.doc_var = doc_var
+        self.validator = validator
+        #: local names bound from single-arg gets: name -> key.
+        self._get_locals: Dict[str, str] = {}
+        #: keys provisionally required via bare gets.
+        self._bare_gets: Dict[str, bool] = {}
+
+    def run(self) -> None:
+        body = getattr(self.info.node, "body", [])
+        for stmt in body:
+            self._walk(stmt, conditional=False)
+        self._demote_none_guarded()
+        for key, conditional in self._bare_gets.items():
+            target = (self.validator.optional if conditional
+                      else self.validator.required)
+            target.add(key)
+
+    def _walk(self, node: ast.AST, conditional: bool) -> None:
+        if isinstance(node, _FUNCTION_NODES):
+            return
+        if isinstance(node, ast.If):
+            self._scan_expr(node.test, conditional)
+            for stmt in node.body:
+                self._walk(stmt, True)
+            for stmt in node.orelse:
+                self._walk(stmt, True)
+            return
+        if isinstance(node, (ast.For, ast.While, ast.With, ast.Try)):
+            for field_name, value in ast.iter_fields(node):
+                children = value if isinstance(value, list) else [value]
+                for child in children:
+                    if isinstance(child, ast.AST):
+                        self._walk(child, conditional
+                                   or isinstance(node, ast.While))
+            return
+        self._scan_expr(node, conditional)
+
+    def _scan_expr(self, node: ast.AST, conditional: bool) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._scan_call(child, conditional)
+            elif isinstance(child, ast.Subscript):
+                self._scan_subscript(child, conditional)
+            elif isinstance(child, ast.Compare):
+                self._scan_membership(child, conditional)
+        self._note_get_locals(node)
+
+    def _scan_call(self, node: ast.Call, conditional: bool) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            if func.value.id == self.doc_var:
+                if func.attr in ("items", "keys", "values"):
+                    self.validator.open_schema = True
+                elif func.attr == "get" and node.args:
+                    self._scan_get(node, conditional)
+                return
+        # Helper call carrying the doc: union the helper's keys as known.
+        doc_position: Optional[int] = None
+        for position, argument in enumerate(node.args):
+            if isinstance(argument, ast.Name) and argument.id == self.doc_var:
+                doc_position = position
+            elif (isinstance(argument, ast.Constant)
+                    and isinstance(argument.value, str)):
+                if any(isinstance(a, ast.Name) and a.id == self.doc_var
+                       for a in node.args):
+                    self.validator.known.add(argument.value)
+        if doc_position is not None:
+            self._merge_helper(node, doc_position)
+
+    def _scan_get(self, node: ast.Call, conditional: bool) -> None:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            key = first.value
+            if len(node.args) >= 2 or node.keywords:
+                self.validator.optional.add(key)
+                # alias idiom: doc.get("a", doc.get("b")) -> b optional too
+                for extra in node.args[1:]:
+                    nested = self._nested_get_key(extra)
+                    if nested is not None:
+                        self.validator.optional.add(nested)
+            else:
+                previous = self._bare_gets.get(key, True)
+                self._bare_gets[key] = previous and conditional
+        elif isinstance(first, ast.Name):
+            # doc[name]-style table access via a loop variable.
+            self._scan_table_access(first.id)
+
+    def _nested_get_key(self, node: ast.expr) -> Optional[str]:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == self.doc_var
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            return node.args[0].value
+        return None
+
+    def _scan_subscript(self, node: ast.Subscript, conditional: bool) -> None:
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id == self.doc_var):
+            return
+        if (isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            target = (self.validator.optional if conditional
+                      else self.validator.required)
+            target.add(node.slice.value)
+        elif isinstance(node.slice, ast.Name):
+            self._scan_table_access(node.slice.id)
+
+    def _scan_membership(self, node: ast.Compare, conditional: bool) -> None:
+        if len(node.ops) != 1 or not isinstance(node.ops[0],
+                                                (ast.In, ast.NotIn)):
+            return
+        if not (isinstance(node.comparators[0], ast.Name)
+                and node.comparators[0].id == self.doc_var):
+            return
+        left = node.left
+        if isinstance(left, ast.Constant) and isinstance(left.value, str):
+            self.validator.required.add(left.value)
+        elif isinstance(left, ast.Name):
+            self._scan_table_access(left.id)
+
+    def _scan_table_access(self, loop_name: str) -> None:
+        """``for name, ... in _FIELDS: ... doc[name]`` -> required keys."""
+        for child in ast.walk(self.info.node):
+            if not isinstance(child, ast.For):
+                continue
+            first_target: Optional[str] = None
+            if isinstance(child.target, ast.Name):
+                first_target = child.target.id
+            elif (isinstance(child.target, ast.Tuple) and child.target.elts
+                    and isinstance(child.target.elts[0], ast.Name)):
+                first_target = child.target.elts[0].id
+            if first_target != loop_name:
+                continue
+            table_name = _terminal_name(child.iter)
+            if not table_name:
+                continue
+            fields = self.index.resolve_field_table(self.mod.name, table_name)
+            if fields:
+                self.validator.required.update(fields)
+
+    def _note_get_locals(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if not isinstance(child, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = getattr(child, "value", None)
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "get"
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id == self.doc_var
+                    and value.args
+                    and isinstance(value.args[0], ast.Constant)
+                    and isinstance(value.args[0].value, str)
+                    and len(value.args) == 1 and not value.keywords):
+                continue
+            targets = (child.targets if isinstance(child, ast.Assign)
+                       else [child.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._get_locals[target.id] = value.args[0].value
+
+    def _demote_none_guarded(self) -> None:
+        """A bare get whose result is None-tested is an optional key."""
+        for child in ast.walk(self.info.node):
+            if not isinstance(child, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Is, ast.IsNot))
+                       for op in child.ops):
+                continue
+            operands = [child.left] + list(child.comparators)
+            has_none = any(isinstance(operand, ast.Constant)
+                           and operand.value is None
+                           for operand in operands)
+            if not has_none:
+                continue
+            keys: Set[str] = set()
+            for operand in operands:
+                if isinstance(operand, ast.Name):
+                    local_key = self._get_locals.get(operand.id)
+                    if local_key is not None:
+                        keys.add(local_key)
+                else:
+                    # Inline form: ``doc.get("k") is not None``.
+                    direct = self._bare_get_key(operand)
+                    if direct is not None:
+                        keys.add(direct)
+            for key in keys:
+                if key in self._bare_gets:
+                    self._bare_gets.pop(key)
+                    self.validator.optional.add(key)
+
+    def _bare_get_key(self, node: ast.AST) -> Optional[str]:
+        """The key of a one-arg ``doc.get("k")`` call, else ``None``."""
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == self.doc_var
+                and len(node.args) == 1 and not node.keywords
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            return node.args[0].value
+        return None
+
+    def _merge_helper(self, call: ast.Call, doc_position: int) -> None:
+        helper = self._resolve_helper(call.func)
+        if helper is None:
+            return
+        args = getattr(helper.node, "args", None)
+        if args is None:
+            return
+        params = [arg.arg for arg in
+                  (list(args.posonlyargs) + list(args.args))]
+        offset = 1 if params and params[0] in ("self", "cls") else 0
+        position = doc_position + offset
+        if position >= len(params):
+            return
+        param = params[position]
+        for key in _literal_key_refs(helper.node, param):
+            self.validator.known.add(key)
+
+    def _resolve_helper(self, func: ast.expr) -> Optional[FunctionInfo]:
+        if isinstance(func, ast.Name):
+            key = f"{self.mod.name}:{func.id}"
+            found = self.index.functions.get(key)
+            if found is not None:
+                return found
+            target = self.mod.imports.get(func.id)
+            if target is not None and target[1] is not None:
+                return self.index.functions.get(f"{target[0]}:{target[1]}")
+            return None
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and self.info.class_name is not None):
+            return_key = self.index._resolve_self_call(  # noqa: SLF001
+                self.mod, self.info.class_name, func.attr)
+            if return_key is not None:
+                return self.index.functions.get(return_key)
+        return None
+
+
+def _literal_key_refs(node: ast.AST, var: str) -> Set[str]:
+    """Every literal key referenced on *var* inside *node* (any depth)."""
+    keys: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (isinstance(func, ast.Attribute) and func.attr == "get"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == var and child.args
+                    and isinstance(child.args[0], ast.Constant)
+                    and isinstance(child.args[0].value, str)):
+                keys.add(child.args[0].value)
+                for extra in child.args[1:]:
+                    if (isinstance(extra, ast.Call)
+                            and isinstance(extra.func, ast.Attribute)
+                            and extra.func.attr == "get"
+                            and isinstance(extra.func.value, ast.Name)
+                            and extra.func.value.id == var
+                            and extra.args
+                            and isinstance(extra.args[0], ast.Constant)
+                            and isinstance(extra.args[0].value, str)):
+                        keys.add(extra.args[0].value)
+        elif isinstance(child, ast.Subscript):
+            if (isinstance(child.value, ast.Name) and child.value.id == var
+                    and isinstance(child.slice, ast.Constant)
+                    and isinstance(child.slice.value, str)):
+                keys.add(child.slice.value)
+        elif isinstance(child, ast.Compare):
+            if (len(child.ops) == 1
+                    and isinstance(child.ops[0], (ast.In, ast.NotIn))
+                    and isinstance(child.comparators[0], ast.Name)
+                    and child.comparators[0].id == var
+                    and isinstance(child.left, ast.Constant)
+                    and isinstance(child.left.value, str)):
+                keys.add(child.left.value)
+    return keys

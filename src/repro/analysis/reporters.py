@@ -1,11 +1,12 @@
-"""Human and JSON reporters for :class:`~repro.analysis.LintReport`."""
+"""Human, JSON, and SARIF reporters for :class:`~repro.analysis.LintReport`."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
-from repro.analysis.engine import LintReport
+from repro.analysis.engine import PROJECT_RULES, LintReport
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import DEFAULT_RULES
 
 
@@ -18,23 +19,76 @@ def render_human(report: LintReport, show_suppressed: bool = False) -> str:
         if finding.suppressed and not show_suppressed:
             continue
         lines.append(finding.format())
+    for key in report.stale_baseline:
+        lines.append(f"stale baseline entry (no longer fires): {key}")
     counts = report.counts_by_rule()
     by_rule = ", ".join(f"{rule}={counts[rule]}" for rule in sorted(counts))
-    summary = (f"checked {report.files_checked} files: "
-               f"{len(report.unsuppressed)} finding(s)"
-               + (f" [{by_rule}]" if by_rule else "")
-               + (f", {len(report.suppressed)} suppressed"
-                  if report.suppressed else ""))
-    lines.append(summary if not report.ok else
-                 f"checked {report.files_checked} files: clean"
-                 + (f" ({len(report.suppressed)} suppressed)"
-                    if report.suppressed else ""))
+    extras = []
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} suppressed")
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.stale_baseline:
+        extras.append(f"{len(report.stale_baseline)} stale baseline entries")
+    extra = f" ({', '.join(extras)})" if extras else ""
+    if report.ok:
+        lines.append(f"checked {report.files_checked} files: clean{extra}")
+    else:
+        lines.append(f"checked {report.files_checked} files: "
+                     f"{len(report.actionable)} finding(s)"
+                     + (f" [{by_rule}]" if by_rule else "") + extra)
     return "\n".join(lines)
 
 
 def render_json(report: LintReport, indent: int = 2) -> str:
-    """The stable ``repro.analysis/v1`` JSON schema (sorted keys)."""
+    """The stable ``repro.analysis/v2`` JSON schema (sorted keys)."""
     return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+#: SARIF severity levels per finding state.
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    elif finding.baselined:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(report: LintReport, indent: int = 2) -> str:
+    """SARIF 2.1.0, enough for code-scanning upload and artifact review."""
+    rules = [{"id": rule.rule_id,
+              "shortDescription": {"text": rule.title}}
+             for rule in list(DEFAULT_RULES) + list(PROJECT_RULES)]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }},
+            "results": [_sarif_result(f) for f in report.findings],
+            "invocations": [{
+                "executionSuccessful": not report.parse_errors,
+            }],
+        }],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
 
 
 def render_rule_list() -> str:
@@ -43,4 +97,8 @@ def render_rule_list() -> str:
     for rule in DEFAULT_RULES:
         lines.append(f"{rule.rule_id:>4}  [{rule.default_severity.value}]  "
                      f"{rule.title}")
+    for project_rule in PROJECT_RULES:
+        lines.append(f"{project_rule.rule_id:>4}  "
+                     f"[{project_rule.default_severity.value}]  "
+                     f"{project_rule.title} (--project)")
     return "\n".join(lines)

@@ -22,9 +22,13 @@ from __future__ import annotations
 
 import ast
 from pathlib import PurePosixPath
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.analysis.findings import Finding, Severity, SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.project import ProjectIndex
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -619,6 +623,38 @@ class PublicApiRule(Rule):
                     if isinstance(member, _FUNCTION_NODES):
                         yield member, (class_public
                                        and not member.name.startswith("_"))
+
+
+# ---------------------------------------------------------------------------
+# whole-program rules (pass 2 over the project index)
+# ---------------------------------------------------------------------------
+
+
+class ProjectRule:
+    """One named check over the whole-program :class:`ProjectIndex`.
+
+    Unlike :class:`Rule`, a project rule sees every module at once —
+    call graphs, registration sites, emitter/validator pairs.  The
+    C/P/S families live in :mod:`repro.analysis.crules` /
+    :mod:`~repro.analysis.prules` / :mod:`~repro.analysis.srules`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, index: "ProjectIndex") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, index: "ProjectIndex", path: str, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        source = index.by_path[path].source
+        return Finding(path=path, line=line, col=col,
+                       rule_id=self.rule_id, severity=self.default_severity,
+                       message=message,
+                       suppressed=source.is_allowed(self.rule_id, line))
 
 
 #: Every rule, in id order — the engine's default rule set.

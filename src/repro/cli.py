@@ -16,8 +16,11 @@ Runs the library's headline experiments from the shell:
   detection, and the convergence timeline, as human tables or a
   schema-validated ``repro.report/v1`` document;
 * ``lint`` — run the determinism & invariant linter
-  (:mod:`repro.analysis`) over the source tree: seeded-RNG, wall-clock,
-  iteration-order, obs-guard, and public-API rules (D1–D5);
+  (:mod:`repro.analysis`) over the source tree: per-file seeded-RNG,
+  wall-clock, iteration-order, obs-guard, and public-API rules
+  (D1–D5), plus — with ``--project`` — the whole-program
+  cache-coherence, fleet-safety, and schema-drift families
+  (C1/C2, P1–P3, S1/S2) with baseline and SARIF support;
 * ``bench`` — run the seeded perf-trajectory workload matrix
   (:mod:`repro.perf.bench`) cached and uncached, write the
   ``repro.bench/v2`` JSON, and fail unless cached Dijkstra work shrank
@@ -410,21 +413,53 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the determinism & invariant linter (the CI correctness gate).
 
-    Exit status 0 means every checked file parsed and no unsuppressed
-    finding remains; 1 means findings (or parse errors); 2 means the
-    invocation itself was bad (unknown rule, missing path).
+    ``--project`` adds the whole-program pass: a project index (import
+    graph, call graph, workload roots, emitter/validator pairs) feeds
+    the C (cache coherence), P (fleet safety), and S (schema drift)
+    rule families on top of D1–D5.  ``--baseline`` absorbs committed
+    findings so only new ones gate; ``--update-baseline`` rewrites the
+    file from the current run.
+
+    Exit status 0 means every checked file parsed and no actionable
+    error-severity finding remains; 1 means findings (or parse
+    errors); 2 means the invocation itself was bad (unknown rule,
+    missing path, unreadable baseline).
     """
-    from repro.analysis import (AnalysisError, lint_paths, render_human,
-                                render_json, render_rule_list)
+    from repro.analysis import (AnalysisError, Baseline, lint_paths,
+                                lint_project, render_human, render_json,
+                                render_rule_list, render_sarif)
 
     if args.list_rules:
         print(render_rule_list())
         return 0
     try:
-        report = lint_paths(args.paths or ["src"], rule_ids=args.rule)
+        baseline = None
+        if args.baseline and not args.update_baseline:
+            baseline = Baseline.from_file(args.baseline)
+        common = dict(rule_ids=args.rule, jobs=args.jobs,
+                      warn_unused_suppressions=args.warn_unused_suppressions)
+        if args.project:
+            report = lint_project(args.paths or ["src"], baseline=baseline,
+                                  **common)
+        else:
+            report = lint_paths(args.paths or ["src"], **common)
     except AnalysisError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    if args.update_baseline:
+        if not args.baseline:
+            print("lint: --update-baseline needs --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(f"lint: wrote baseline with "
+              f"{len(report.unsuppressed)} finding(s) to {args.baseline}",
+              file=sys.stderr)
+        return 0
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(report))
+            handle.write("\n")
     if args.json:
         print(render_json(report))
     else:
@@ -629,13 +664,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     p_lint = sub.add_parser(
-        "lint", help="run the determinism & invariant linter (D1-D5)")
+        "lint", help="run the determinism & invariant linter "
+                     "(D1-D5; --project adds C/P/S)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint (default: src)")
+    p_lint.add_argument("--project", action="store_true",
+                        help="build the whole-program index and run the "
+                             "C (cache coherence), P (fleet safety), and "
+                             "S (schema drift) rule families too")
     p_lint.add_argument("--json", action="store_true",
-                        help="emit the repro.analysis/v1 JSON report")
+                        help="emit the repro.analysis/v2 JSON report")
+    p_lint.add_argument("--sarif", metavar="FILE",
+                        help="also write a SARIF 2.1.0 report here")
     p_lint.add_argument("--rule", action="append", metavar="ID",
-                        help="run only this rule (repeatable, e.g. D1)")
+                        help="run only this rule (repeatable, e.g. D1 or C1)")
+    p_lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse files across N processes (default 1)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="absorb findings recorded in this baseline "
+                             "file; only new findings gate")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline FILE from this run's "
+                             "findings instead of reporting")
+    p_lint.add_argument("--warn-unused-suppressions", action="store_true",
+                        help="warn (W1) on allow[...] pragmas that "
+                             "suppressed nothing")
     p_lint.add_argument("--show-suppressed", action="store_true",
                         help="also print suppressed findings")
     p_lint.add_argument("--list-rules", action="store_true",

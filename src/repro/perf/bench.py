@@ -205,7 +205,9 @@ WORKLOADS: List[Tuple[str, WorkloadFn]] = [
 BENCH_ID_PREFIX = "bench_"
 
 
-def _make_bench_runner(name: str, fn: WorkloadFn):
+def _make_bench_runner(
+        name: str, fn: WorkloadFn
+) -> Callable[[int, Optional[Dict[str, object]]], ExperimentResult]:
     """Wrap a raw workload as a registered ``runner(seed, params)``."""
 
     def runner(seed: int = DEFAULT_SEED,

@@ -1,0 +1,133 @@
+"""C-rule tests: topology/FIB mutations must reach a version bump."""
+
+import textwrap
+
+from repro.analysis import lint_project_sources
+
+
+def project(files, rules=("C1", "C2")):
+    texts = {path: textwrap.dedent(text) for path, text in files.items()}
+    return lint_project_sources(texts, rule_ids=list(rules))
+
+
+def rule_ids(report):
+    return [f.rule_id for f in report.actionable]
+
+
+class TestTopologyMutationRule:
+    def test_unbumped_links_delete_flagged(self):
+        report = project({"src/repro/net/core.py": """
+            class Network:
+                def __init__(self):
+                    self.links = {}
+
+                def drop_link(self, key):
+                    del self.links[key]
+        """})
+        assert rule_ids(report) == ["C1"]
+        assert "drop_link" in report.actionable[0].message
+
+    def test_direct_bump_in_same_function_is_covered(self):
+        report = project({"src/repro/net/core.py": """
+            class Network:
+                def __init__(self):
+                    self.links = {}
+                    self.topology_version = 0
+
+                def _bump_topology_version(self):
+                    self.topology_version += 1
+
+                def add_link(self, key, link):
+                    self.links[key] = link
+                    self._bump_topology_version()
+        """})
+        assert report.ok
+
+    def test_bump_in_caller_covers_helper(self):
+        report = project({"src/repro/net/core.py": """
+            class Network:
+                def __init__(self):
+                    self.links = {}
+                    self.topology_version = 0
+
+                def _bump_topology_version(self):
+                    self.topology_version += 1
+
+                def _wire(self, key, link):
+                    self.links[key] = link
+
+                def add_link(self, key, link):
+                    self._wire(key, link)
+                    self._bump_topology_version()
+        """})
+        assert report.ok
+
+    def test_liveness_write_without_bump_flagged(self):
+        report = project({"src/repro/faults/inject.py": """
+            def fail_link(link):
+                link.up = False
+        """})
+        assert rule_ids(report) == ["C1"]
+        assert ".up" in report.actionable[0].message
+
+    def test_fastpath_bump_in_caller_covers_liveness_write(self):
+        report = project({"src/repro/faults/inject.py": """
+            def fail_link(link):
+                link.up = False
+
+            def inject(net, link, fastpath):
+                fail_link(link)
+                fastpath.bump()
+        """})
+        assert report.ok
+
+    def test_constructors_exempt(self):
+        report = project({"src/repro/net/core.py": """
+            class Link:
+                def __init__(self, cost):
+                    self.up = True
+                    self.cost = cost
+        """})
+        assert report.ok
+
+    def test_non_topology_package_exempt(self):
+        report = project({"src/repro/obs/shadow.py": """
+            def fail_link(link):
+                link.up = False
+        """})
+        assert report.ok
+
+
+class TestFibCoherenceRule:
+    def test_unbumped_install_flagged(self):
+        report = project({"src/repro/routing/apply.py": """
+            def apply_route(fib, prefix, route):
+                fib.install(prefix, route)
+        """})
+        assert rule_ids(report) == ["C2"]
+        assert "install" in report.actionable[0].message
+
+    def test_unbumped_withdraw_flagged(self):
+        report = project({"src/repro/routing/apply.py": """
+            def retract(fib, prefix):
+                fib.withdraw(prefix)
+        """})
+        assert rule_ids(report) == ["C2"]
+
+    def test_bump_in_caller_covers_fib_update(self):
+        report = project({"src/repro/routing/apply.py": """
+            def apply_route(fib, prefix, route):
+                fib.install(prefix, route)
+
+            def converge(net, fib, prefix, route):
+                apply_route(fib, prefix, route)
+                net._bump_topology_version()
+        """})
+        assert report.ok
+
+    def test_non_fib_receiver_ignored(self):
+        report = project({"src/repro/routing/apply.py": """
+            def setup(plugin):
+                plugin.install("hooks")
+        """})
+        assert report.ok

@@ -7,7 +7,8 @@ import pytest
 
 from repro.analysis import (AnalysisError, Finding, Linter, Severity,
                             collect_files, lint_paths, lint_source,
-                            parse_allow_comments, render_human, render_json)
+                            parse_allow_comments, render_human, render_json,
+                            render_sarif)
 
 
 def lint(code, path="src/repro/_inline.py", rules=None):
@@ -157,17 +158,20 @@ class TestReporters:
 
     def test_json_schema(self, tmp_path):
         payload = json.loads(render_json(self._report(tmp_path)))
-        assert payload["schema"] == "repro.analysis/v1"
+        assert payload["schema"] == "repro.analysis/v2"
         assert payload["ok"] is False
         assert payload["files_checked"] == 1
         assert payload["counts"]["total"] == 2
+        assert payload["counts"]["actionable"] == 1
         assert payload["counts"]["unsuppressed"] == 1
         assert payload["counts"]["suppressed"] == 1
+        assert payload["counts"]["baselined"] == 0
         assert payload["counts"]["by_rule"] == {"D1": 1}
         assert payload["parse_errors"] == []
+        assert payload["stale_baseline"] == []
         finding = payload["findings"][0]
         assert set(finding) == {"path", "line", "col", "rule", "severity",
-                                "message", "suppressed"}
+                                "message", "suppressed", "baselined"}
         assert finding["rule"] == "D1"
         assert finding["severity"] == "error"
 
@@ -181,3 +185,41 @@ class TestReporters:
         report = lint_paths(["src/repro/analysis"])
         text = render_human(report)
         assert "clean" in text
+
+    def test_sarif_shape_and_suppressions(self, tmp_path):
+        doc = json.loads(render_sarif(self._report(tmp_path)))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"D1", "C1", "P1", "S1"} <= rule_ids
+        results = run["results"]
+        assert len(results) == 2
+        plain = [r for r in results if "suppressions" not in r]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(plain) == 1 and len(suppressed) == 1
+        assert suppressed[0]["suppressions"] == [{"kind": "inSource"}]
+        location = plain[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("mod.py")
+        assert location["region"]["startLine"] >= 1
+
+
+class TestParallelParsing:
+    def _tree(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "routing"
+        target.mkdir(parents=True)
+        for index in range(8):
+            body = "import random\nx = random.random()\n" if index % 2 \
+                else "x = 1\n"
+            (target / f"mod{index}.py").write_text(body)
+        (target / "broken.py").write_text("def f(:\n")
+        return str(tmp_path)
+
+    def test_jobs_identical_to_serial(self, tmp_path):
+        root = self._tree(tmp_path)
+        serial = lint_paths([root])
+        parallel = lint_paths([root], jobs=4)
+        assert [f.to_dict() for f in parallel.findings] == \
+            [f.to_dict() for f in serial.findings]
+        assert parallel.parse_errors == serial.parse_errors
+        assert parallel.files_checked == serial.files_checked

@@ -1,8 +1,10 @@
 """The meta-test: the repository's own source tree must lint clean.
 
-This is the same gate CI runs (``python -m repro lint src --json``);
-keeping it in the tier-1 suite means a determinism-convention
-regression fails the ordinary test run, not just the lint job.
+This is the same gate CI runs (``python -m repro lint src --json`` and
+``python -m repro lint --project src --baseline .lint-baseline.json``);
+keeping it in the tier-1 suite means a determinism-convention or
+whole-program-invariant regression fails the ordinary test run, not
+just the lint jobs.
 """
 
 import json
@@ -11,10 +13,11 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import Baseline, lint_paths, lint_project
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / ".lint-baseline.json"
 
 
 class TestSourceTreeIsClean:
@@ -31,7 +34,7 @@ class TestSourceTreeIsClean:
             capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
         assert proc.returncode == 0, proc.stdout + proc.stderr
         payload = json.loads(proc.stdout)
-        assert payload["schema"] == "repro.analysis/v1"
+        assert payload["schema"] == "repro.analysis/v2"
         assert payload["ok"] is True
         assert payload["counts"]["unsuppressed"] == 0
 
@@ -57,3 +60,39 @@ class TestSourceTreeIsClean:
             capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
         assert proc.returncode == 2
         assert "unknown rule" in proc.stderr
+
+
+class TestProjectGate:
+    """The whole-program (C/P/S) analysis over src must also be clean."""
+
+    def test_lint_project_programmatic(self):
+        baseline = Baseline.from_file(str(BASELINE))
+        report = lint_project([str(SRC)], baseline=baseline)
+        assert report.parse_errors == []
+        assert report.ok, "\n".join(f.format() for f in report.actionable)
+
+    def test_baseline_has_no_stale_entries(self):
+        baseline = Baseline.from_file(str(BASELINE))
+        report = lint_project([str(SRC)], baseline=baseline)
+        assert report.stale_baseline == []
+
+    def test_lint_project_cli_exits_zero(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--project", str(SRC),
+             "--baseline", str(BASELINE), "--json"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+
+    def test_project_rule_without_project_flag_exits_two(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC),
+             "--rule", "C1"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+        assert proc.returncode == 2
+        assert "--project" in proc.stderr

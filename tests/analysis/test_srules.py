@@ -1,0 +1,179 @@
+"""S-rule tests: emitter/validator schema drift, both directions."""
+
+import textwrap
+
+from repro.analysis import lint_project_sources
+
+
+def project(files, rules=("S1", "S2")):
+    texts = {path: textwrap.dedent(text) for path, text in files.items()}
+    return lint_project_sources(texts, rule_ids=list(rules))
+
+
+def rule_ids(report):
+    return [f.rule_id for f in report.actionable]
+
+
+VALIDATOR = """
+    SCHEMA = "repro.test/v1"
+
+    def validate(doc):
+        errors = []
+        if doc.get("schema") != SCHEMA:
+            errors.append("schema")
+        if "alpha" not in doc:
+            errors.append("alpha")
+        return errors
+"""
+
+
+class TestEmitterMissingKey:
+    def test_missing_required_key_flagged(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    return {"schema": SCHEMA}
+            """,
+            "src/repro/report/check.py": VALIDATOR,
+        })
+        assert rule_ids(report) == ["S1"]
+        assert "'alpha'" in report.actionable[0].message
+
+    def test_optional_key_not_required(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    return {"schema": SCHEMA, "alpha": payload}
+            """,
+            "src/repro/report/check.py": """
+                SCHEMA = "repro.test/v1"
+
+                def validate(doc):
+                    errors = []
+                    if doc.get("schema") != SCHEMA:
+                        errors.append("schema")
+                    if "alpha" not in doc:
+                        errors.append("alpha")
+                    if doc.get("note", "") == "skip":
+                        errors.append("note")
+                    return errors
+            """,
+        })
+        assert report.ok
+
+    def test_matching_pair_clean(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    return {"schema": SCHEMA, "alpha": payload}
+            """,
+            "src/repro/report/check.py": VALIDATOR,
+        })
+        assert report.ok
+
+
+class TestEmitterUnknownKey:
+    def test_unknown_emitted_key_flagged(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    return {"schema": SCHEMA, "alpha": payload, "extra": 1}
+            """,
+            "src/repro/report/check.py": VALIDATOR,
+        })
+        assert rule_ids(report) == ["S2"]
+        assert "'extra'" in report.actionable[0].message
+
+    def test_open_schema_validator_skips_s2(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    return {"schema": SCHEMA, "alpha": payload, "extra": 1}
+            """,
+            "src/repro/report/check.py": """
+                SCHEMA = "repro.test/v1"
+
+                def validate(doc):
+                    if doc.get("schema") != SCHEMA:
+                        return ["schema"]
+                    return [key for key, value in doc.items()
+                            if value is None]
+            """,
+        })
+        assert report.ok
+
+    def test_dynamic_emitter_skipped(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload, **extra):
+                    return {"schema": SCHEMA, **extra}
+            """,
+            "src/repro/report/check.py": VALIDATOR,
+        })
+        assert report.ok
+
+    def test_augmented_emitter_keys_counted(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                SCHEMA = "repro.test/v1"
+
+                def emit(payload):
+                    doc = {"schema": SCHEMA, "alpha": payload}
+                    doc["extra"] = 1
+                    return doc
+            """,
+            "src/repro/report/check.py": VALIDATOR,
+        })
+        assert rule_ids(report) == ["S2"]
+
+
+class TestPairing:
+    def test_one_sided_schema_skipped(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                def emit(payload):
+                    return {"schema": "repro.lonely/v1", "alpha": payload}
+            """,
+        })
+        assert report.ok
+
+    def test_schemas_diffed_independently(self):
+        report = project({
+            "src/repro/report/emit.py": """
+                def emit_a(payload):
+                    return {"schema": "repro.a/v1", "alpha": payload}
+
+                def emit_b(payload):
+                    return {"schema": "repro.b/v1", "beta": payload}
+            """,
+            "src/repro/report/check.py": """
+                def validate_a(doc):
+                    if doc.get("schema") != "repro.a/v1":
+                        return ["schema"]
+                    if "alpha" not in doc:
+                        return ["alpha"]
+                    return []
+
+                def validate_b(doc):
+                    if doc.get("schema") != "repro.b/v1":
+                        return ["schema"]
+                    if "gamma" not in doc:
+                        return ["gamma"]
+                    return []
+            """,
+        })
+        findings = report.actionable
+        assert {f.rule_id for f in findings} == {"S1", "S2"}
+        assert all("repro.b/v1" in f.message for f in findings)
