@@ -14,27 +14,58 @@ towards its IGP-nearest egress border, using the IGP-installed route to
 that border's loopback.  This keeps the data plane honest — if the IGP
 hasn't learned a path to the egress, the BGP route is unusable and is
 not installed.
+
+The install path runs in one of two modes, selected process-wide at
+construction time by :func:`repro.bgp.egress.grouped_install`:
+
+* **grouped/incremental** (the default) — a router's hot-potato egress
+  decision depends only on the route's next-hop AS, never on the
+  prefix, so Loc-RIB prefixes are grouped by ``learned_from`` and the
+  per-router IGP scan runs once per (router, next-hop AS) group before
+  bulk-installing every prefix in the group: O(P×R×B) FIB lookups
+  become O(R×B×A) for A next-hop ASes.  When the topology version is
+  unchanged since the last install, only *dirty* prefixes (Loc-RIB
+  deltas tracked by :meth:`BgpSpeaker.decide`) are withdrawn and
+  reinstalled instead of rebuilding every FIB from scratch.  Update
+  propagation additionally coalesces all updates one speaker sends one
+  neighbor at one tick into a single MRAI-style batch event
+  (per-prefix send order preserved; per-message scheduling returns
+  whenever a :class:`~repro.net.simulator.MessagePerturbation` is
+  active, so loss/jitter semantics stay exact).
+* **seed** — the per-prefix reference path, kept verbatim so
+  equivalence tests and the bench's control-plane leg can prove the
+  grouped mode byte-identical (``tests/bgp/test_install_equivalence``).
+
+Both modes produce identical FIBs because the per-(prefix, router)
+entry is a pure function of (Loc-RIB route, egress links, IGP state),
+FIB installs are per-source idempotent overwrites, and BGP-carried
+prefixes never cover border-router loopbacks (other domains' address
+blocks are disjoint), so install order cannot feed back into the
+hot-potato lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.address import Prefix
 from repro.net.domain import Domain
 from repro.net.errors import RoutingError
-from repro.net.link import LinkScope
 from repro.net.network import Network
 from repro.net.node import FibEntry, RouteSource, Router
 from repro.net.simulator import EventScheduler, MessageStats
 from repro.obs import get_obs
+from repro.bgp.egress import EgressCache, grouped_install_enabled
 from repro.bgp.policy import BgpPolicy
 from repro.bgp.routes import (LOCAL_PREF_ORIGINATED, BgpRoute, BgpUpdate,
                               RouteScope)
 
 #: Inter-domain message propagation delay (one MRAI-ish tick).
 SESSION_DELAY = 1.0
+
+#: One MRAI batch key: (sender ASN, receiver ASN, send tick).
+BatchKey = Tuple[int, int, float]
 
 
 class BgpSpeaker:
@@ -45,6 +76,9 @@ class BgpSpeaker:
         self.adj_rib_in: Dict[Prefix, Dict[int, BgpRoute]] = {}
         self.loc_rib: Dict[Prefix, BgpRoute] = {}
         self.originated: Dict[Prefix, BgpRoute] = {}
+        #: Loc-RIB deltas since the last FIB install (the incremental
+        #: reinstall set); cleared by BgpProtocol after each install.
+        self.dirty: Set[Prefix] = set()
 
     @property
     def asn(self) -> int:
@@ -64,15 +98,24 @@ class BgpSpeaker:
         return self.loc_rib.get(prefix)
 
     def decide(self, prefix: Prefix) -> Optional[BgpRoute]:
-        """Run the decision process for *prefix*; returns the new best."""
+        """Run the decision process for *prefix*; returns the new best.
+
+        Any change to the Loc-RIB entry (including its removal) marks
+        the prefix dirty so the next install pass can reinstall just
+        the deltas.
+        """
+        old = self.loc_rib.get(prefix)
         candidates: List[BgpRoute] = []
         if prefix in self.originated:
             candidates.append(self.originated[prefix])
         candidates.extend(self.adj_rib_in.get(prefix, {}).values())
         if not candidates:
-            self.loc_rib.pop(prefix, None)
+            if self.loc_rib.pop(prefix, None) is not None:
+                self.dirty.add(prefix)
             return None
         best = min(candidates, key=BgpRoute.selection_key)
+        if best != old:
+            self.dirty.add(prefix)
         self.loc_rib[prefix] = best
         return best
 
@@ -96,6 +139,8 @@ class BgpProtocol:
         self.obs = get_obs()
         self._c_announcements = self.obs.counter("bgp.announcements")
         self._c_withdrawals = self.obs.counter("bgp.withdrawals")
+        self._c_install_lookups = self.obs.counter(
+            "perf.bgp.install_fib_lookups")
         # Default-routed domains (scale-tier stubs) do not speak BGP:
         # they get no speaker, originate nothing, and — because _send
         # drops updates to unknown speakers — receive nothing.  Their
@@ -108,6 +153,25 @@ class BgpProtocol:
         #: Speakers whose every router is crashed (fault injection).
         self._down_speakers: Set[int] = set()
         self._started = False
+        #: Memoized (asn, next_hop_asn) -> egress links (repro.bgp.egress).
+        self.egress_cache = EgressCache(network)
+        #: Grouped/incremental install + MRAI batching vs. the verbatim
+        #: seed path; consulted process-wide at construction time.
+        self.grouped_install = grouped_install_enabled()
+        #: MRAI-style per-(session, tick) update coalescing; follows the
+        #: install mode so the seed mode is seed-faithful end to end.
+        self.batch_updates = self.grouped_install
+        self._pending_batches: Dict[BatchKey, List[BgpUpdate]] = {}
+        #: topology_version at each speaker's last install — the gate
+        #: between full rebuilds and incremental dirty-set reinstalls.
+        self._install_state: Dict[int, int] = {}
+        #: FIB lookups performed by forwarding-state installation.
+        #: Plain int, always live — the bench's primary control-plane
+        #: signal (the perf.bgp.install_fib_lookups counter mirrors it
+        #: under an enabled observability handle).
+        self.install_fib_lookups = 0
+        #: Cumulative wall-clock cost of install_routes (D2: wall_*).
+        self.wall_install_seconds = 0.0
 
     def speaker(self, asn: int) -> BgpSpeaker:
         try:
@@ -182,19 +246,50 @@ class BgpProtocol:
                 self._c_withdrawals.inc()
             else:
                 self._c_announcements.inc()
-        self.scheduler.schedule_message(SESSION_DELAY,
-                                        lambda: self._receive(to_asn, update))
+        if (not self.batch_updates
+                or self.scheduler.message_perturbation is not None):
+            # Per-message scheduling: the seed path.  A perturbation
+            # draws loss/jitter per message, so batching would change
+            # which updates are lost or reordered — fall back.
+            self.scheduler.schedule_message(
+                SESSION_DELAY, lambda: self._receive(to_asn, update))
+            return
+        key: BatchKey = (update.sender_asn, to_asn, self.scheduler.now)
+        batch = self._pending_batches.get(key)
+        if batch is None:
+            batch = []
+            self._pending_batches[key] = batch
+            self.scheduler.schedule_message(
+                SESSION_DELAY, lambda: self._deliver_batch(key))
+        batch.append(update)
+
+    def _deliver_batch(self, key: BatchKey) -> None:
+        """Deliver one MRAI batch: every update one speaker queued for
+        one neighbor at one tick, replayed in send order — so the
+        per-prefix, per-session delivery order the seed path guarantees
+        is preserved exactly."""
+        updates = self._pending_batches.pop(key, None)
+        if updates is None:
+            return
+        to_asn = key[1]
+        for update in updates:
+            self._receive(to_asn, update)
 
     def _receive(self, asn: int, update: BgpUpdate) -> None:
         if asn in self._down_speakers:
             return  # message lost: every router of the AS is down
         self.stats.record_delivery()
         speaker = self.speaker(asn)
-        rib = speaker.adj_rib_in.setdefault(update.prefix, {})
+        rib = speaker.adj_rib_in.get(update.prefix)
         if update.is_withdrawal:
-            if update.sender_asn not in rib:
+            if rib is None or update.sender_asn not in rib:
                 return
             del rib[update.sender_asn]
+            if not rib:
+                # Prune on last-neighbor delete: an empty per-prefix
+                # dict would otherwise be iterated by every future
+                # flush/size scan (the PR-9 leak fix).
+                del speaker.adj_rib_in[update.prefix]
         else:
             if update.route is None:
                 raise RoutingError(
@@ -203,14 +298,19 @@ class BgpProtocol:
             imported = self.policy.accept(speaker.domain, update.route,
                                           update.sender_asn)
             if imported is None:
-                if update.sender_asn in rib:
+                if rib is not None and update.sender_asn in rib:
                     del rib[update.sender_asn]  # route became unacceptable
+                    if not rib:
+                        del speaker.adj_rib_in[update.prefix]
                 else:
                     return
             else:
-                previous = rib.get(update.sender_asn)
+                previous = None if rib is None else rib.get(update.sender_asn)
                 if previous == imported:
                     return
+                if rib is None:
+                    rib = {}
+                    speaker.adj_rib_in[update.prefix] = rib
                 rib[update.sender_asn] = imported
         old_best = speaker.loc_rib.get(update.prefix)
         new_best = speaker.decide(update.prefix)
@@ -258,13 +358,17 @@ class BgpProtocol:
             if not alive and asn not in self._down_speakers:
                 self._down_speakers.add(asn)
                 speaker = self.speakers[asn]
+                # The flush empties the Loc-RIB wholesale, so every
+                # previously-best prefix is a delta the next
+                # incremental install must withdraw.
+                speaker.dirty.update(speaker.loc_rib)
                 speaker.adj_rib_in.clear()
                 speaker.loc_rib.clear()
                 changed += 1
             elif alive and asn in self._down_speakers:
                 self._down_speakers.discard(asn)
                 speaker = self.speakers[asn]
-                for prefix in sorted(speaker.originated, key=str):
+                for prefix in sorted(speaker.originated, key=Prefix.sort_key):
                     best = speaker.decide(prefix)
                     if best is not None:
                         self._export(speaker, prefix, best)
@@ -324,11 +428,13 @@ class BgpProtocol:
     def _flush_neighbor(self, asn: int, neighbor_asn: int) -> bool:
         speaker = self.speaker(asn)
         flushed = False
-        for prefix in sorted(speaker.adj_rib_in, key=str):
+        for prefix in sorted(speaker.adj_rib_in, key=Prefix.sort_key):
             rib = speaker.adj_rib_in[prefix]
             if neighbor_asn not in rib:
                 continue
             del rib[neighbor_asn]
+            if not rib:
+                del speaker.adj_rib_in[prefix]  # prune: no empty rib dicts
             flushed = True
             old_best = speaker.loc_rib.get(prefix)
             new_best = speaker.decide(prefix)
@@ -342,41 +448,66 @@ class BgpProtocol:
     def reannounce(self, asn: int) -> None:
         """Re-export every best route (after a session/link restoration)."""
         speaker = self.speaker(asn)
-        for prefix in sorted(speaker.loc_rib, key=str):
+        for prefix in sorted(speaker.loc_rib, key=Prefix.sort_key):
             self._export(speaker, prefix, speaker.loc_rib[prefix])
 
     # -- forwarding-state installation --------------------------------------------------
     def _egress_links(self, asn: int, next_hop_asn: int) -> List[Tuple[str, str]]:
-        """(local border, remote border) pairs over live links to *next_hop_asn*."""
-        pairs: List[Tuple[str, str]] = []
-        domain = self.network.domains[asn]
-        for border_id in sorted(domain.border_routers):
-            for neighbor_id, link in self.network.neighbors(
-                    border_id, scope=LinkScope.INTER_DOMAIN):
-                if self.network.node(neighbor_id).domain_id == next_hop_asn:
-                    pairs.append((border_id, neighbor_id))
-        return pairs
+        """(local border, remote border) pairs over live links to
+        *next_hop_asn* — memoized per topology version."""
+        return self.egress_cache.links(asn, next_hop_asn)
 
     def install_routes(self) -> None:
-        """Install converged BGP state into every router's FIB."""
+        """Install converged BGP state into every router's FIB.
+
+        Grouped mode rebuilds a domain in full only when the topology
+        version moved since its last install; otherwise it reinstalls
+        just the dirty Loc-RIB deltas.  Seed mode always rebuilds, one
+        prefix at a time.  Either way the caller
+        (:meth:`~repro.core.orchestrator.Orchestrator.install_routes`)
+        bumps the forwarding fast path afterwards.
+        """
+        lookups_before = self.install_fib_lookups
+        wall_t0 = time.perf_counter()
         for asn in sorted(self.speakers):
             self._install_domain(asn)
+        self.wall_install_seconds += time.perf_counter() - wall_t0
+        if self.obs.enabled:
+            delta = self.install_fib_lookups - lookups_before
+            if delta:
+                self._c_install_lookups.inc(delta)
 
     def _install_domain(self, asn: int) -> None:
         speaker = self.speakers[asn]
+        version = self.network.topology_version
+        if not self.grouped_install:
+            self._install_domain_seed(asn, speaker)
+        elif self._install_state.get(asn) == version:
+            self._install_domain_incremental(asn, speaker)
+        else:
+            self._install_domain_full(asn, speaker)
+        # Both full paths leave FIBs consistent with the Loc-RIB at
+        # this version, so the next unchanged-version pass may go
+        # incremental; the dirty set has been folded in either way.
+        self._install_state[asn] = version
+        speaker.dirty.clear()
+
+    def _domain_routers(self, asn: int) -> List[Router]:
         domain = self.network.domains[asn]
-        routers = [self.network.node(rid) for rid in sorted(domain.routers)]
+        return [self.network.node(rid) for rid in sorted(domain.routers)]
+
+    def _install_domain_seed(self, asn: int, speaker: BgpSpeaker) -> None:
+        """The per-prefix reference path: withdraw everything, then run
+        the hot-potato scan once per (prefix, router).  Kept verbatim
+        (modulo the cached sort key) as the equivalence baseline."""
+        routers = self._domain_routers(asn)
         for router in routers:
             router.fib4.withdraw_all(RouteSource.BGP)
         for prefix, route in sorted(speaker.loc_rib.items(),
-                                    key=lambda item: str(item[0])):
+                                    key=lambda item: item[0].sort_key()):
             if route.originated:
                 continue  # internal destinations are the IGP's job
-            next_hop_asn = route.learned_from
-            if next_hop_asn is None:
-                raise RoutingError(
-                    f"non-originated loc-rib route for {prefix} in AS{asn} "
-                    "has no learned_from neighbor")
+            next_hop_asn = self._learned_from(asn, prefix, route)
             egress = self._egress_links(asn, next_hop_asn)
             if not egress:
                 continue  # session exists but no live physical link
@@ -384,28 +515,132 @@ class BgpProtocol:
             for router in routers:
                 self._install_router(router, prefix, remote_by_border)
 
-    def _install_router(self, router, prefix: Prefix,
-                        remote_by_border: Dict[str, str]) -> None:
-        if router.node_id in remote_by_border:
-            router.fib4.install(FibEntry(prefix=prefix,
-                                         next_hop=remote_by_border[router.node_id],
-                                         source=RouteSource.BGP, metric=0.0))
+    def _install_domain_full(self, asn: int, speaker: BgpSpeaker) -> None:
+        """Grouped full rebuild: one egress decision per (router,
+        next-hop AS), bulk-installed across the group's prefixes."""
+        routers = self._domain_routers(asn)
+        for router in routers:
+            router.fib4.withdraw_all(RouteSource.BGP)
+        groups: Dict[int, List[Prefix]] = {}
+        for prefix, route in speaker.loc_rib.items():
+            if route.originated:
+                continue  # internal destinations are the IGP's job
+            groups.setdefault(self._learned_from(asn, prefix, route),
+                              []).append(prefix)
+        memo: Dict[Tuple[str, str], Optional[FibEntry]] = {}
+        for next_hop_asn in sorted(groups):
+            self._install_group(asn, routers, next_hop_asn,
+                                sorted(groups[next_hop_asn],
+                                       key=Prefix.sort_key), memo)
+
+    def _install_domain_incremental(self, asn: int, speaker: BgpSpeaker) -> None:
+        """Reinstall only the Loc-RIB deltas since the last install.
+
+        Sound because the topology version is unchanged (checked by the
+        caller): egress maps and the IGP routes the hot-potato scan
+        reads cannot have moved, so every non-dirty prefix's installed
+        entry is still exactly what a full rebuild would produce.
+        """
+        if not speaker.dirty:
             return
+        routers = self._domain_routers(asn)
+        dirty = sorted(speaker.dirty, key=Prefix.sort_key)
+        for router in routers:
+            fib = router.fib4
+            for prefix in dirty:
+                fib.withdraw(prefix, RouteSource.BGP)
+        groups: Dict[int, List[Prefix]] = {}
+        for prefix in dirty:
+            route = speaker.loc_rib.get(prefix)
+            if route is None or route.originated:
+                continue  # withdrawn (or IGP-owned): the withdraw above sufficed
+            groups.setdefault(self._learned_from(asn, prefix, route),
+                              []).append(prefix)
+        memo: Dict[Tuple[str, str], Optional[FibEntry]] = {}
+        for next_hop_asn in sorted(groups):
+            # Group lists inherit the sorted dirty order.
+            self._install_group(asn, routers, next_hop_asn,
+                                groups[next_hop_asn], memo)
+        if self.obs.enabled:
+            self.obs.counter("perf.bgp.incremental_installs").inc()
+
+    def _learned_from(self, asn: int, prefix: Prefix, route: BgpRoute) -> int:
+        next_hop_asn = route.learned_from
+        if next_hop_asn is None:
+            raise RoutingError(
+                f"non-originated loc-rib route for {prefix} in AS{asn} "
+                "has no learned_from neighbor")
+        return next_hop_asn
+
+    def _install_group(self, asn: int, routers: List[Router],
+                       next_hop_asn: int, prefixes: List[Prefix],
+                       memo: Optional[Dict[Tuple[str, str],
+                                           Optional[FibEntry]]] = None
+                       ) -> None:
+        egress = self._egress_links(asn, next_hop_asn)
+        if not egress:
+            return  # session exists but no live physical link
+        remote_by_border = {local: remote for local, remote in egress}
+        for router in routers:
+            decision = self._router_egress(router, remote_by_border, memo)
+            if decision is None:
+                continue  # egress unreachable via IGP; routes unusable here
+            next_hop, metric = decision
+            fib = router.fib4
+            for prefix in prefixes:
+                fib.install(FibEntry(prefix=prefix, next_hop=next_hop,
+                                     source=RouteSource.BGP, metric=metric))
+
+    def _install_router(self, router: Router, prefix: Prefix,
+                        remote_by_border: Dict[str, str]) -> None:
+        decision = self._router_egress(router, remote_by_border)
+        if decision is None:
+            return  # egress unreachable via IGP; BGP route unusable
+        next_hop, metric = decision
+        router.fib4.install(FibEntry(prefix=prefix, next_hop=next_hop,
+                                     source=RouteSource.BGP, metric=metric))
+
+    def _router_egress(self, router: Router, remote_by_border: Dict[str, str],
+                       memo: Optional[Dict[Tuple[str, str],
+                                           Optional[FibEntry]]] = None
+                       ) -> Optional[Tuple[str, float]]:
+        """One router's egress decision towards one next-hop AS:
+        ``(next hop, metric)``, or ``None`` if no egress is usable.
+        A pure function of (router, egress links, IGP routes) — the
+        invariant that makes grouped bulk-install answer-preserving.
+
+        *memo* (grouped paths only) reuses the (router, border) IGP
+        lookup across next-hop-AS groups within one install pass —
+        safe because the pass only mutates BGP FIB entries, and BGP
+        prefixes never cover border loopbacks, so the lookups it
+        memoizes cannot change mid-pass.
+        """
+        if router.node_id in remote_by_border:
+            return remote_by_border[router.node_id], 0.0
         # Hot potato: forward towards the IGP-nearest egress border.
         best: Optional[Tuple[float, str, str]] = None
         for border_id in sorted(remote_by_border):
             border = self.network.node(border_id)
-            igp_entry = router.fib4.lookup(border.ipv4)
+            if memo is None:
+                self.install_fib_lookups += 1
+                igp_entry = router.fib4.lookup(border.ipv4)
+            else:
+                memo_key = (router.node_id, border_id)
+                if memo_key in memo:
+                    igp_entry = memo[memo_key]
+                else:
+                    self.install_fib_lookups += 1
+                    igp_entry = router.fib4.lookup(border.ipv4)
+                    memo[memo_key] = igp_entry
             if igp_entry is None or igp_entry.next_hop is None:
                 continue
             key = (igp_entry.metric, border_id, igp_entry.next_hop)
             if best is None or key < best:
                 best = key
         if best is None:
-            return  # egress unreachable via IGP; BGP route unusable
+            return None
         metric, _border_id, next_hop = best
-        router.fib4.install(FibEntry(prefix=prefix, next_hop=next_hop,
-                                     source=RouteSource.BGP, metric=metric))
+        return next_hop, metric
 
     # -- inspection --------------------------------------------------------------------
     def total_rib_size(self) -> int:

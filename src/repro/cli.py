@@ -475,35 +475,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
     (b) bit-identical cached/uncached experiment metrics for every
     workload, and (c) fewer total Dijkstra runs cached than uncached.
     Sweep mode: (a) plus bit-identical fast-path-on/off delivery
-    metrics for every cell.  Wall seconds and speedups are recorded
-    for trajectory plots but never gated on (no timing thresholds).
+    metrics for every cell, plus byte-identical grouped-vs-seed FIBs
+    on every cell's control-plane leg.  Wall seconds and speedups are
+    recorded for trajectory plots but never gated on (no timing
+    thresholds).
+
+    ``--profile`` wraps the whole run in :mod:`cProfile` and prints
+    the top functions by cumulative time; ``--profile-out FILE``
+    additionally dumps the raw pstats data for ``snakeviz``/
+    ``pstats`` digging.
     """
     import json
 
     from repro.perf.bench import (DEFAULT_BENCH_PATH, run_bench,
                                   validate_bench_dict, write_bench)
 
+    def profiled(run):
+        """Run *run* under cProfile when --profile is set."""
+        if not args.profile and args.profile_out is None:
+            return run()
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = run()
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            stats.print_stats(25)
+            if args.profile_out is not None:
+                stats.dump_stats(args.profile_out)
+                print(f"pstats dump written to {args.profile_out}",
+                      file=sys.stderr)
+        return result
+
     if args.scale_sweep:
         from repro.perf.scale_bench import DEFAULT_SWEEP_PATH, run_sweep
 
-        doc = run_sweep(seed=args.seed, quick=args.quick)
+        doc = profiled(lambda: run_sweep(seed=args.seed, quick=args.quick))
         path = write_bench(doc, args.out or DEFAULT_SWEEP_PATH)
         errors = validate_bench_dict(doc)
         totals: dict = doc["totals"]  # type: ignore[assignment]
         if not totals["identical_metrics"]:
             errors.append(
                 "fast-path delivery metrics diverged from the slow path")
+        if not totals.get("identical_fibs", True):
+            errors.append(
+                "grouped-install FIBs diverged from the seed install path")
         status = {"ok": not errors, "out": path,
                   "identical_metrics": totals["identical_metrics"],
+                  "identical_fibs": totals.get("identical_fibs"),
                   "speedups": {str(cell["routers_requested"]):
                                round(float(cell["speedup"]), 2)  # type: ignore[arg-type]
-                               for cell in doc["cells"]}}  # type: ignore[union-attr]
+                               for cell in doc["cells"]},  # type: ignore[union-attr]
+                  "lookup_reductions": {
+                      str(cell["routers_requested"]):
+                      round(float(cell["control_plane"]["lookup_reduction"]), 2)  # type: ignore[index]
+                      for cell in doc["cells"]}}  # type: ignore[union-attr]
         if errors:
             status["errors"] = errors[:10]
         print(json.dumps(status, indent=2, sort_keys=True))
         return 0 if not errors else 1
 
-    doc = run_bench(seed=args.seed, quick=args.quick)
+    doc = profiled(lambda: run_bench(seed=args.seed, quick=args.quick))
     path = write_bench(doc, args.out or DEFAULT_BENCH_PATH)
     errors = validate_bench_dict(doc)
     matrix_totals: dict = doc["totals"]  # type: ignore[assignment]
@@ -709,8 +746,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "function of it)")
     p_bench.add_argument("--out", metavar="FILE", default=None,
                          help="where to write the JSON document (default: "
-                              "BENCH_PR6.json, or BENCH_SCALE_PR6.json "
+                              "BENCH_PR6.json, or BENCH_PR9.json "
                               "with --scale-sweep)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="run under cProfile and print the top "
+                              "functions by cumulative time to stderr")
+    p_bench.add_argument("--profile-out", metavar="FILE", default=None,
+                         help="also dump raw pstats data to FILE "
+                              "(implies --profile)")
     p_bench.set_defaults(func=cmd_bench)
 
     p_fleet = sub.add_parser(

@@ -193,6 +193,25 @@ class Prefix:
         for i in range(self.plen):
             yield (self.address.value >> (bits - 1 - i)) & 1
 
+    def sort_key(self) -> str:
+        """The canonical deterministic sort key — ``str(self)``, cached.
+
+        Hot control-plane loops (Loc-RIB installation, Adj-RIB-In
+        flushes, reannouncements) sort prefix collections on every
+        pass; rendering the dotted-quad string each call dominated
+        those sorts at scale.  The key is computed once per instance
+        and memoized — safe because the dataclass is frozen, and
+        equal prefixes render equal strings.  ``sorted(prefixes,
+        key=Prefix.sort_key)`` orders exactly like the historical
+        ``key=str`` sort (the regression test in ``tests/net``
+        locks this).
+        """
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = str(self)
+            object.__setattr__(self, "_sort_key", key)
+        return key
+
     def __str__(self) -> str:
         return f"{self.address}/{self.plen}"
 

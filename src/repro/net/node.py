@@ -125,6 +125,25 @@ class Fib:
         """The winning entry for every installed prefix."""
         return [self._best(offers) for _, offers in self._trie.items()]
 
+    def snapshot(self, source: Optional[RouteSource] = None
+                 ) -> List[Tuple[str, str, str, float]]:
+        """A canonical, sorted dump of every offer — the byte-exact
+        equivalence surface the control-plane bench and the grouped-
+        vs-seed install tests compare.  Optionally restricted to one
+        *source* (e.g. ``RouteSource.BGP``).
+        """
+        rows: List[Tuple[str, str, str, float]] = []
+        for pfx, offers in self._trie.items():
+            for src in sorted(offers, key=lambda s: s.name):
+                if source is not None and src is not source:
+                    continue
+                entry = offers[src]
+                rows.append((str(pfx), src.name,
+                             "" if entry.next_hop is None else entry.next_hop,
+                             entry.metric))
+        rows.sort()
+        return rows
+
     def route_count(self) -> int:
         """Number of distinct prefixes with at least one offer."""
         return len(self._trie)

@@ -1,0 +1,209 @@
+"""Unit tests for the control-plane install machinery.
+
+Covers the egress-link cache (:mod:`repro.bgp.egress`), the
+grouped-install switch, Adj-RIB-In pruning (no empty per-prefix dicts
+survive a withdrawal or session flush), dirty-prefix tracking, and
+MRAI-style update batching.  The end-to-end grouped-vs-seed
+equivalence lives in ``test_install_equivalence``.
+"""
+
+import pytest
+
+from repro.bgp.egress import (EgressCache, grouped_install,
+                              grouped_install_enabled,
+                              set_grouped_install_default)
+from repro.bgp.routes import RouteScope
+from repro.core.orchestrator import Orchestrator
+from repro.net import Prefix, ipv4
+from repro.perf.cache import caching
+from tests.conftest import build_hub_network, build_two_domain_network
+
+
+class TestEgressCache:
+    def test_second_scan_is_a_hit(self, converged_two_domain):
+        net = converged_two_domain.network
+        cache = EgressCache(net, enabled=True)
+        first = cache.links(1, 2)
+        assert first == [("r1b", "r2b")]
+        assert cache.links(1, 2) == first
+        assert cache.stats() == {"hits": 1, "misses": 1,
+                                 "invalidations": 0, "entries": 1}
+
+    def test_no_session_means_no_links(self, converged_two_domain):
+        cache = EgressCache(converged_two_domain.network, enabled=True)
+        assert cache.links(1, 99) == []
+
+    def test_version_bump_invalidates(self, converged_two_domain):
+        net = converged_two_domain.network
+        cache = EgressCache(net, enabled=True)
+        assert cache.links(1, 2) == [("r1b", "r2b")]
+        net.link_between("r1b", "r2b").fail()
+        # The dead link must disappear from the recomputed answer.
+        assert cache.links(1, 2) == []
+        assert cache.invalidations == 1
+        net.link_between("r1b", "r2b").restore()
+        assert cache.links(1, 2) == [("r1b", "r2b")]
+        assert cache.invalidations == 2
+
+    def test_disabled_cache_always_rescans(self, converged_two_domain):
+        net = converged_two_domain.network
+        with caching(False):
+            cache = EgressCache(net)  # inherits the caching() switch
+        assert cache.enabled is False
+        assert cache.links(1, 2) == cache.links(1, 2) == [("r1b", "r2b")]
+        assert cache.hits == 0 and cache.misses == 2 and len(cache) == 0
+
+    def test_protocol_egress_goes_through_the_cache(self, converged_hub):
+        bgp = converged_hub.bgp
+        misses = bgp.egress_cache.misses
+        assert misses > 0
+        hits_before = bgp.egress_cache.hits
+        # Session liveness checks rescan every (asn, neighbor) pair the
+        # install pass already computed: all hits, no new misses.
+        bgp.resync_sessions()
+        assert bgp.egress_cache.hits > hits_before
+        assert bgp.egress_cache.misses == misses
+
+
+class TestGroupedInstallSwitch:
+    def test_default_is_grouped(self):
+        assert grouped_install_enabled() is True
+
+    def test_context_manager_scopes_and_restores(self):
+        with grouped_install(False):
+            assert grouped_install_enabled() is False
+            with grouped_install(True):
+                assert grouped_install_enabled() is True
+            assert grouped_install_enabled() is False
+        assert grouped_install_enabled() is True
+
+    def test_set_default_returns_previous(self):
+        assert set_grouped_install_default(False) is True
+        try:
+            assert grouped_install_enabled() is False
+        finally:
+            assert set_grouped_install_default(True) is False
+
+    def test_protocol_consults_switch_at_construction(self):
+        with grouped_install(False):
+            orch = Orchestrator(build_two_domain_network())
+        assert orch.bgp.grouped_install is False
+        assert orch.bgp.batch_updates is False
+        # Constructed outside the block: back to the optimized path.
+        fresh = Orchestrator(build_two_domain_network())
+        assert fresh.bgp.grouped_install is True
+
+
+def assert_no_empty_ribs(bgp):
+    for asn, speaker in bgp.speakers.items():
+        for prefix, rib in speaker.adj_rib_in.items():
+            assert rib, (f"AS{asn} keeps an empty Adj-RIB-In dict "
+                         f"for {prefix}")
+
+
+class TestAdjRibInPruning:
+    def test_withdrawal_prunes_empty_rib_dicts(self, converged_chain):
+        bgp = converged_chain.bgp
+        pfx = Prefix.host(ipv4("240.0.0.1"))
+        bgp.originate(1, pfx, scope=RouteScope.ANYCAST_GLOBAL)
+        converged_chain.scheduler.run_until_idle()
+        assert any(pfx in s.adj_rib_in for s in bgp.speakers.values())
+        bgp.withdraw(1, pfx)
+        converged_chain.scheduler.run_until_idle()
+        # The last-neighbor delete must remove the per-prefix dict
+        # itself, not leave an empty shell behind.
+        for speaker in bgp.speakers.values():
+            assert pfx not in speaker.adj_rib_in
+        assert_no_empty_ribs(bgp)
+
+    def test_session_flush_prunes_empty_rib_dicts(self, converged_two_domain):
+        orch = converged_two_domain
+        orch.network.link_between("r1b", "r2b").fail()
+        orch.bgp.resync_sessions()
+        orch.scheduler.run_until_idle()
+        assert_no_empty_ribs(orch.bgp)
+        # Both sides flushed the peer-learned prefix entirely.
+        net = orch.network
+        assert net.domains[2].prefix not in orch.bgp.speaker(1).adj_rib_in
+        assert net.domains[1].prefix not in orch.bgp.speaker(2).adj_rib_in
+
+    def test_converged_state_has_no_empty_ribs(self, converged_hub):
+        assert_no_empty_ribs(converged_hub.bgp)
+
+
+class TestDirtyTracking:
+    def test_install_clears_dirty(self, converged_hub):
+        for speaker in converged_hub.bgp.speakers.values():
+            assert speaker.dirty == set()
+
+    def test_loc_rib_change_marks_dirty(self, converged_chain):
+        bgp = converged_chain.bgp
+        pfx = Prefix.host(ipv4("240.0.0.1"))
+        bgp.originate(1, pfx, scope=RouteScope.ANYCAST_GLOBAL)
+        converged_chain.scheduler.run_until_idle()
+        for asn in (1, 2, 3, 4):
+            assert pfx in bgp.speaker(asn).dirty
+        bgp.install_routes()
+        for asn in (1, 2, 3, 4):
+            assert bgp.speaker(asn).dirty == set()
+
+    def test_unchanged_decision_stays_clean(self, converged_chain):
+        bgp = converged_chain.bgp
+        speaker = bgp.speaker(4)
+        pfx = converged_chain.network.domains[1].prefix
+        assert speaker.decide(pfx) is not None  # same best as before
+        assert pfx not in speaker.dirty
+
+
+class TestMraiBatching:
+    def test_same_tick_updates_coalesce_into_one_batch(self, converged_chain):
+        bgp = converged_chain.bgp
+        assert bgp.batch_updates is True
+        p1 = Prefix.host(ipv4("240.0.0.1"))
+        p2 = Prefix.host(ipv4("240.0.0.2"))
+        bgp.originate(4, p1, scope=RouteScope.ANYCAST_GLOBAL)
+        bgp.originate(4, p2, scope=RouteScope.ANYCAST_GLOBAL)
+        # AS4's only neighbor is AS3: two same-tick updates, one batch.
+        assert len(bgp._pending_batches) == 1
+        (batch,) = bgp._pending_batches.values()
+        assert [u.prefix for u in batch] == [p1, p2]  # send order kept
+        converged_chain.scheduler.run_until_idle()
+        assert bgp._pending_batches == {}
+        for asn in (1, 2, 3):
+            assert bgp.speaker(asn).best_route(p1) is not None
+            assert bgp.speaker(asn).best_route(p2) is not None
+
+    def test_batching_reduces_convergence_events(self):
+        def run(grouped):
+            with grouped_install(grouped):
+                orch = Orchestrator(build_hub_network())
+                orch.converge()
+            return orch
+
+        grouped, seed = run(True), run(False)
+        assert (grouped.scheduler.events_processed
+                < seed.scheduler.events_processed)
+        # Same traffic over the sessions, just fewer delivery events.
+        assert grouped.bgp.stats.sent == seed.bgp.stats.sent
+        assert grouped.bgp.stats.delivered == seed.bgp.stats.delivered
+
+    def test_perturbation_falls_back_to_per_message(self, converged_chain):
+        bgp = converged_chain.bgp
+        scheduler = converged_chain.scheduler
+        scheduler.set_message_perturbation(loss_prob=0.0)
+        try:
+            pfx = Prefix.host(ipv4("240.0.0.1"))
+            bgp.originate(4, pfx, scope=RouteScope.ANYCAST_GLOBAL)
+            # Loss/jitter draws are per message: nothing may batch.
+            assert bgp._pending_batches == {}
+            scheduler.run_until_idle()
+        finally:
+            scheduler.clear_message_perturbation()
+        assert bgp.speaker(1).best_route(pfx) is not None
+
+    def test_seed_mode_never_batches(self):
+        with grouped_install(False):
+            orch = Orchestrator(build_two_domain_network())
+            orch.converge()
+        assert orch.bgp._pending_batches == {}
+        assert orch.bgp.batch_updates is False

@@ -136,3 +136,27 @@ class TestPrefix:
     def test_ordering_deterministic(self):
         prefixes = [prefix("10.2.0.0/16"), prefix("10.1.0.0/16")]
         assert sorted(prefixes)[0] == prefix("10.1.0.0/16")
+
+    def test_sort_key_matches_str(self):
+        # The BGP install path used to sort on str(prefix) per call;
+        # sort_key() caches that string, so the install order must be
+        # the old str-keyed order exactly.
+        prefixes = [prefix("10.2.0.0/16"), prefix("10.10.0.0/16"),
+                    prefix("10.1.0.0/16"), prefix("192.168.0.0/24"),
+                    prefix("2.0.0.0/8"), Prefix.host(ipv4("240.0.0.1")),
+                    prefix("10.2.0.0/24")]
+        assert (sorted(prefixes, key=Prefix.sort_key)
+                == sorted(prefixes, key=str))
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+                              st.integers(min_value=0, max_value=32)),
+                    max_size=20))
+    def test_sort_key_order_property(self, pairs):
+        prefixes = [Prefix(IPv4Address(value), plen) for value, plen in pairs]
+        assert (sorted(prefixes, key=Prefix.sort_key)
+                == sorted(prefixes, key=str))
+
+    def test_sort_key_is_cached(self):
+        pfx = prefix("10.0.0.0/8")
+        assert pfx.sort_key() == "10.0.0.0/8"
+        assert pfx.sort_key() is pfx.sort_key()
