@@ -10,7 +10,11 @@ turns them into reports:
 * **per-packet distributions** — path stretch and encapsulation
   overhead, streamed with Welford aggregation;
 * **blackhole / loop detection** from forwarding spans alone;
-* **convergence timeline** from the sampler's ``metric.sample`` events.
+* **convergence timeline** from the sampler's ``metric.sample`` events;
+* **anycast catchment observatory** — per-fault-epoch vantage→replica
+  catchment maps, shift/flap attribution, RTT-inflation CDF, and
+  probe-observed convergence time from ``probe.rtt`` measurement
+  events (schema ``repro.catchment/v1``, see ``docs/measurement.md``).
 
 Everything is streaming: a trace is read line by line
 (:func:`iter_trace_events`), high-volume ``forward`` spans are
@@ -26,12 +30,17 @@ tables (:func:`render_report`), both exposed via
 
 from __future__ import annotations
 
+from repro.analyze.catchment import (CATCHMENT_SCHEMA, build_catchment,
+                                     catchment_from_trace, render_catchment,
+                                     validate_catchment_dict)
 from repro.analyze.reader import (SpanForest, SpanNode, build_span_forest,
                                   iter_trace_events)
 from repro.analyze.render import render_report
 from repro.analyze.report import REPORT_SCHEMA, build_report
 from repro.analyze.schema import validate_report_dict
 
-__all__ = ["REPORT_SCHEMA", "SpanForest", "SpanNode", "build_report",
-           "build_span_forest", "iter_trace_events", "render_report",
-           "validate_report_dict"]
+__all__ = ["CATCHMENT_SCHEMA", "REPORT_SCHEMA", "SpanForest", "SpanNode",
+           "build_catchment", "build_report", "build_span_forest",
+           "catchment_from_trace", "iter_trace_events", "render_catchment",
+           "render_report", "validate_report_dict",
+           "validate_catchment_dict"]

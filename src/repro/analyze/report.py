@@ -131,7 +131,7 @@ class _Collector:
         self.hop_dists: Dict[str, _Dist] = {
             name: _Dist() for name in ("physical_hops", "vn_hops",
                                        "encapsulations", "decapsulations",
-                                       "max_depth")}
+                                       "max_depth", "latency")}
         self.blackhole_counts: Dict[str, int] = {}
         self.blackhole_examples: List[Dict[str, object]] = []
         self.loop_counts: Dict[str, int] = {}
@@ -140,6 +140,9 @@ class _Collector:
         self.probes = 0
         self.probe_outcomes: Dict[str, int] = {}
         self.stretch = _Dist()
+        # Optional (trace schema v3+): pre-v3 traces never emitted
+        # delay_stretch, so the dist just stays empty (count 0).
+        self.delay_stretch = _Dist()
         self.probe_encap = _Dist()
         # metric.sample timeline.
         self.timeline: List[Dict[str, object]] = []
@@ -240,6 +243,9 @@ class _Collector:
         stretch = as_float(event.get("stretch"))
         if stretch is not None:
             self.stretch.add(stretch)
+        delay_stretch = as_float(event.get("delay_stretch"))
+        if delay_stretch is not None:
+            self.delay_stretch.add(delay_stretch)
         encap = as_float(event.get("encapsulations"))
         if encap is not None:
             self.probe_encap.add(encap)
@@ -392,6 +398,7 @@ def build_report(events: Union[str, "os.PathLike[str]", Iterable[Event]],
         "probes": {"count": collector.probes,
                    "outcomes": dict(sorted(collector.probe_outcomes.items())),
                    "stretch": collector.stretch.summary(),
+                   "delay_stretch": collector.delay_stretch.summary(),
                    "encapsulations": collector.probe_encap.summary()},
         "epochs": [_epoch_entry(forest, epoch, collector)
                    for epoch in epochs],

@@ -159,6 +159,12 @@ def validate_report_dict(doc: Mapping[str, object]) -> List[str]:
         _check_dist(probes.get("stretch"), "probes.stretch", errors)
         _check_dist(probes.get("encapsulations"), "probes.encapsulations",
                     errors)
+        # delay_stretch arrived with trace schema v3; reports built from
+        # older traces carry an empty dist, but a report missing the key
+        # entirely (pre-v3 *reports*) is still accepted.
+        if "delay_stretch" in probes:
+            _check_dist(probes.get("delay_stretch"), "probes.delay_stretch",
+                        errors)
     epochs = doc.get("epochs")
     if not isinstance(epochs, Sequence) or isinstance(epochs, str):
         errors.append("epochs: not a list")

@@ -14,7 +14,15 @@ Runs the library's headline experiments from the shell:
 * ``report`` — analyze a JSONL trace offline (:mod:`repro.analyze`):
   per-epoch critical paths, forwarding distributions, blackhole/loop
   detection, and the convergence timeline, as human tables or a
-  schema-validated ``repro.report/v1`` document;
+  schema-validated ``repro.report/v1`` document; ``--catchment``
+  instead builds the anycast catchment observatory document
+  (``repro.catchment/v1``) from the trace's ``probe.rtt`` events;
+* ``probes`` — run a deterministic RTT probe plan
+  (:mod:`repro.measure`) against an anycast deployment through a
+  crash/recover fault plan and fold the probe series into a
+  ``repro.catchment/v1`` document: per-epoch catchment maps,
+  fault-attributed shifts vs. flaps, RTT inflation against the delay
+  oracle, and probe-observed convergence time;
 * ``lint`` — run the determinism & invariant linter
   (:mod:`repro.analysis`) over the source tree: per-file seeded-RNG,
   wall-clock, iteration-order, obs-guard, and public-API rules
@@ -382,24 +390,36 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     ``--check`` additionally validates the trace schema, the span
     causality invariants, and the built report document, exiting 1 on
-    any problem — the CI report-smoke gate.
+    any problem — the CI report-smoke gate.  ``--catchment`` switches
+    the analysis to the anycast catchment observatory: the trace's
+    ``probe.rtt`` events and ``fault.apply`` boundaries become a
+    ``repro.catchment/v1`` document instead.
     """
     import json
 
-    from repro.analyze import build_report, render_report, validate_report_dict
+    from repro.analyze import (build_report, catchment_from_trace,
+                               render_catchment, render_report,
+                               validate_catchment_dict, validate_report_dict)
     from repro.obs import validate_spans, validate_trace
 
     errors: List[str] = []
     if args.check:
         errors.extend(validate_trace(args.trace))
         errors.extend(validate_spans(args.trace))
-    doc = build_report(args.trace)
-    if args.check:
-        errors.extend(validate_report_dict(doc))
+    if args.catchment:
+        doc = catchment_from_trace(args.trace)
+        if args.check:
+            errors.extend(validate_catchment_dict(doc))
+        rendered = render_catchment(doc)
+    else:
+        doc = build_report(args.trace)
+        if args.check:
+            errors.extend(validate_report_dict(doc))
+        rendered = render_report(doc)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
-        print(render_report(doc))
+        print(rendered)
     if errors:
         for problem in errors[:20]:
             print(f"report: {problem}", file=sys.stderr)
@@ -408,6 +428,100 @@ def cmd_report(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_probes(args: argparse.Namespace) -> int:
+    """Run a deterministic RTT probe plan over an anycast deployment.
+
+    Deploys IPvN, arms a :class:`~repro.measure.ProbeEngine` across the
+    first ``--vantages`` hosts, plays a crash/recover fault plan
+    against the member serving the most vantages, and folds the probe
+    series into a ``repro.catchment/v1`` document
+    (``docs/measurement.md``).  ``--check`` validates the trace schema,
+    the span invariants, the catchment document, and — when tracing —
+    that the trace-derived document matches the in-memory probe series
+    exactly; the CI probe-smoke job gates on it plus byte-identical
+    ``--out`` files across same-seed runs.
+    """
+    import json
+
+    from repro.analyze import (build_catchment, catchment_from_trace,
+                               render_catchment, validate_catchment_dict)
+    from repro.experiments.measurement_claims import _serving_victim
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.measure import ProbeEngine, ProbePlan, ProbeTarget
+    from repro.obs import (Observability, Tracer, observing, validate_spans,
+                           validate_trace)
+
+    # The context lands both in the trace header and in the catchment
+    # document; it must stay path- and wall-clock-free so same-seed
+    # catchment files compare byte-identical.
+    context = {"command": "probes", "seed": args.seed,
+               "version": args.version, "scheme": args.scheme,
+               "vantages": args.vantages, "rounds": args.rounds,
+               "interval": args.interval, "start": args.start,
+               "crash_at": args.crash_at, "recover_at": args.recover_at}
+    obs = None
+    if args.trace:
+        obs = Observability(tracer=Tracer(args.trace, context=context))
+    with observing(obs):
+        internet = _build_internet(args)
+        deployment = _deploy(internet, args)
+        hosts = internet.hosts()
+        vantages = tuple(hosts[:max(1, args.vantages)])
+        plan = ProbePlan(
+            vantages=vantages,
+            targets=(ProbeTarget(name="anycast",
+                                 dst=deployment.scheme.address,
+                                 kind="anycast"),),
+            interval=args.interval, start=args.start, rounds=args.rounds)
+        engine = ProbeEngine(internet.orchestrator.scheduler,
+                             internet.orchestrator.engine, internet.network,
+                             plan, replicas=deployment.live_members)
+        victim = _serving_victim(internet, deployment, vantages,
+                                 sorted(deployment.members())[0])
+        fault_plan = (FaultPlan()
+                      .crash_node(victim, at=args.crash_at)
+                      .recover_node(victim, at=args.recover_at))
+        injector = FaultInjector(internet.orchestrator, fault_plan,
+                                 deployments=[deployment])
+        engine.arm()
+        injector.play()  # the probes are the workload
+        engine.finish()
+    if obs is not None:
+        obs.close()
+
+    errors: List[str] = []
+    doc = build_catchment(
+        [sample.to_dict() for sample in engine.samples],
+        [{"t": record.time, "description": record.description}
+         for record in injector.records],
+        context=context)
+    errors.extend(validate_catchment_dict(doc))
+    if args.trace and args.check:
+        errors.extend(validate_trace(args.trace))
+        errors.extend(validate_spans(args.trace))
+        from_trace = catchment_from_trace(args.trace)
+        if (json.dumps(from_trace, sort_keys=True)
+                != json.dumps(doc, sort_keys=True)):
+            errors.append("trace-derived catchment diverged from the "
+                          "in-memory probe series")
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.write("\n")
+    if args.json:
+        print(payload)
+    else:
+        print(f"victim: {victim}")
+        print(render_catchment(doc))
+    for problem in errors[:20]:
+        print(f"probes: {problem}", file=sys.stderr)
+    if len(errors) > 20:
+        print(f"probes: ... {len(errors) - 20} more problems",
+              file=sys.stderr)
+    return 1 if errors else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -476,7 +590,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     workload, and (c) fewer total Dijkstra runs cached than uncached.
     Sweep mode: (a) plus bit-identical fast-path-on/off delivery
     metrics for every cell, plus byte-identical grouped-vs-seed FIBs
-    on every cell's control-plane leg.  Wall seconds and speedups are
+    on every cell's control-plane leg, plus a sample-for-sample
+    identical probe RTT series across both forwarding legs.  Wall seconds and speedups are
     recorded for trajectory plots but never gated on (no timing
     thresholds).
 
@@ -525,9 +640,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if not totals.get("identical_fibs", True):
             errors.append(
                 "grouped-install FIBs diverged from the seed install path")
+        if not totals.get("identical_probe_series", True):
+            errors.append(
+                "fast-path probe RTT series diverged from the slow path")
         status = {"ok": not errors, "out": path,
                   "identical_metrics": totals["identical_metrics"],
                   "identical_fibs": totals.get("identical_fibs"),
+                  "identical_probe_series":
+                      totals.get("identical_probe_series"),
                   "speedups": {str(cell["routers_requested"]):
                                round(float(cell["speedup"]), 2)  # type: ignore[arg-type]
                                for cell in doc["cells"]},  # type: ignore[union-attr]
@@ -698,7 +818,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--check", action="store_true",
                           help="validate trace schema, span invariants, "
                                "and the report document (exit 1 on any)")
+    p_report.add_argument("--catchment", action="store_true",
+                          help="build the repro.catchment/v1 anycast "
+                               "catchment document from the trace's "
+                               "probe.rtt events instead")
     p_report.set_defaults(func=cmd_report)
+
+    p_probes = sub.add_parser(
+        "probes", help="run a deterministic RTT probe plan through a "
+                       "fault plan (repro.catchment/v1)")
+    _add_topology_options(p_probes)
+    _add_deploy_options(p_probes)
+    p_probes.add_argument("--vantages", type=int, default=4,
+                          help="probing hosts (the first N hosts)")
+    p_probes.add_argument("--rounds", type=int, default=24,
+                          help="probe rounds")
+    p_probes.add_argument("--interval", type=float, default=5.0,
+                          help="sim time between rounds")
+    p_probes.add_argument("--start", type=float, default=0.0,
+                          help="sim-time offset of round 0")
+    p_probes.add_argument("--crash-at", type=float, default=10.0,
+                          help="victim crash time, relative to scenario "
+                               "start")
+    p_probes.add_argument("--recover-at", type=float, default=80.0,
+                          help="victim recovery time, relative to "
+                               "scenario start")
+    p_probes.add_argument("--trace", metavar="FILE",
+                          help="write the structured JSONL trace here")
+    p_probes.add_argument("--out", metavar="FILE",
+                          help="write the catchment JSON document here")
+    p_probes.add_argument("--json", action="store_true",
+                          help="print the catchment JSON instead of the "
+                               "human rendering")
+    p_probes.add_argument("--check", action="store_true",
+                          help="validate trace, spans, the catchment "
+                               "document, and trace/in-memory identity "
+                               "(exit 1 on any problem)")
+    p_probes.set_defaults(func=cmd_probes)
 
     p_lint = sub.add_parser(
         "lint", help="run the determinism & invariant linter "

@@ -23,6 +23,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.measure.oracle import DelayOracle
 from repro.net.forwarding import ForwardingTrace, Outcome
 from repro.net.network import Network
 from repro.obs import get_obs
@@ -51,6 +52,24 @@ def path_stretch(network: Network, trace: ForwardingTrace, src: str,
     if optimal == 0.0:
         return 1.0
     return trace_path_cost(network, trace) / optimal
+
+
+def delay_stretch(oracle: DelayOracle, trace: ForwardingTrace, src: str,
+                  dst: str) -> Optional[float]:
+    """Trace latency / best possible one-way delay; None if undelivered.
+
+    The delay-weighted sibling of :func:`path_stretch`: how much slower
+    the walk was than the lowest-latency path the live topology offers.
+    1.0 when the optimal delay is zero (src == dst).
+    """
+    if not trace.delivered:
+        return None
+    optimal = oracle.delay(src, dst)
+    if optimal is None:
+        return None
+    if optimal == 0.0:
+        return 1.0
+    return trace.latency / optimal
 
 
 def vn_tail_length(network: Network, trace: ForwardingTrace) -> Optional[int]:
@@ -207,19 +226,27 @@ def measure_reachability(network: Network, send, pairs: Iterable[Tuple[str, str]
     Under an enabled observability handle, each probe additionally
     emits a ``reach.probe`` event carrying the per-packet path stretch
     (trace cost / direct shortest-path cost — an oracle quantity the
-    trace alone cannot reconstruct) plus the hop/encapsulation counts,
-    which is what the offline analyzer's stretch and encapsulation-
-    overhead distributions are built from.
+    trace alone cannot reconstruct), the delay-weighted analogue
+    ``delay_stretch`` (trace latency / best possible delay, from
+    :class:`~repro.measure.oracle.DelayOracle`), plus the hop/
+    encapsulation counts, which is what the offline analyzer's stretch
+    and encapsulation-overhead distributions are built from.  Older
+    (pre-v3) traces simply lack ``delay_stretch``; the analyzer treats
+    it as optional.
     """
     report = ReachabilityReport()
     obs = get_obs()
+    oracle = DelayOracle(network) if obs.enabled else None
     for src, dst in pairs:
         trace = send(src, dst)
         report.record(network, trace, src, dst)
         if obs.enabled:
+            assert oracle is not None  # repro: allow[D5]
             obs.event("reach.probe", src=src, dst=dst,
                       outcome=trace.outcome.value,
                       stretch=path_stretch(network, trace, src, dst),
+                      delay_stretch=delay_stretch(oracle, trace, src, dst),
+                      latency=trace.latency,
                       physical_hops=trace.physical_hops,
                       vn_hops=trace.vn_hops,
                       encapsulations=trace.encapsulations,

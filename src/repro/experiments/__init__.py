@@ -30,6 +30,7 @@ from repro.experiments import access_claims  # noqa: F401  (E10, E13a, E13b)
 from repro.experiments import igp_claims  # noqa: F401  (E11)
 from repro.experiments import service_claims  # noqa: F401  (E12a/b, E16)
 from repro.experiments import resilience_claims  # noqa: F401  (E17)
+from repro.experiments import measurement_claims  # noqa: F401  (rtt_catchment)
 # The perf-bench workloads register under bench_* so the fleet and the
 # CLI can sweep them through the same registry.
 from repro.perf import bench as _bench  # noqa: F401  (bench_*)

@@ -1,0 +1,29 @@
+"""repro.measure: the deterministic measurement plane.
+
+Simulated RTT probing on top of the forwarding engine and the shared
+event scheduler — the sim analogue of dataplane RTT measurement:
+
+* :class:`DelayOracle` — delay-weighted shortest paths over live links
+  (the "actual" side of observed-vs-actual comparisons);
+* :class:`ProbePlan` / :class:`ProbeTarget` — a declarative probe
+  schedule: vantage set × anycast/unicast targets × sim-time interval;
+* :class:`ProbeEngine` — runs a plan from scheduler clock advances
+  (pulled, never queued, so probe plans compose with fault plans
+  without perturbing reconvergence), records :class:`ProbeSample`
+  series, and emits ``probe.rtt`` trace events under ``probe.round``
+  spans when observability is enabled.
+
+RTTs are twice the one-way delay-weighted path latency (symmetric
+return paths — the probe reply retraces the forward path), so observed
+RTT divided by the oracle's best-replica RTT is the inflation a user at
+the vantage experiences.  See ``docs/measurement.md``.
+"""
+
+from __future__ import annotations
+
+from repro.measure.engine import ProbeEngine, ProbeSample
+from repro.measure.oracle import DelayOracle, delay_tree
+from repro.measure.plan import ProbePlan, ProbeTarget
+
+__all__ = ["DelayOracle", "ProbeEngine", "ProbePlan", "ProbeSample",
+           "ProbeTarget", "delay_tree"]

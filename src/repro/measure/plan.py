@@ -1,0 +1,114 @@
+"""Declarative probe plans.
+
+A :class:`ProbePlan` is pure data — which vantages probe which targets,
+how often, how many times — validated up front against a network so
+the engine can assume every referenced node exists.  Plans are frozen
+(hashable, reusable across scenarios) and times are *relative to arm
+time*, matching :class:`repro.faults.FaultPlan` semantics so a probe
+plan and a fault plan written against the same timeline line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.net.address import IPv4Address
+from repro.net.errors import MeasureError
+from repro.net.network import Network
+
+#: Target kinds a plan may declare.
+TARGET_KINDS = ("unicast", "anycast")
+
+
+@dataclass(frozen=True)
+class ProbeTarget:
+    """One probed destination address.
+
+    ``name`` identifies the target in samples and reports: for
+    ``unicast`` targets it must be the destination *node id* (the
+    oracle uses it for the ground-truth delay); for ``anycast`` targets
+    it is a label for the replica set (e.g. the deployment's anycast
+    address) and ground truth comes from the engine's live-replica
+    callback instead.
+    """
+
+    name: str
+    dst: IPv4Address
+    kind: str = "unicast"
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """vantages × targets, probed every *interval* for *rounds* rounds.
+
+    Round *i* fires at ``arm_time + start + i * interval`` sim-time.
+    Probe order within a round is the declared vantage order crossed
+    with the declared target order — deterministic by construction.
+    """
+
+    vantages: Tuple[str, ...]
+    targets: Tuple[ProbeTarget, ...]
+    interval: float = 5.0
+    start: float = 0.0
+    rounds: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.vantages:
+            raise MeasureError("probe plan has no vantages")
+        if not self.targets:
+            raise MeasureError("probe plan has no targets")
+        if len(set(self.vantages)) != len(self.vantages):
+            raise MeasureError("probe plan vantages contain duplicates")
+        if self.interval <= 0:
+            raise MeasureError(
+                f"probe interval must be positive, got {self.interval}")
+        if self.start < 0:
+            raise MeasureError(
+                f"probe start must be >= 0, got {self.start}")
+        if self.rounds < 1:
+            raise MeasureError(
+                f"probe plan needs at least one round, got {self.rounds}")
+        for target in self.targets:
+            if target.kind not in TARGET_KINDS:
+                raise MeasureError(
+                    f"unknown target kind {target.kind!r} for "
+                    f"{target.name!r}; choose from {TARGET_KINDS}")
+
+    @property
+    def probes_per_round(self) -> int:
+        return len(self.vantages) * len(self.targets)
+
+    def tick(self, round_index: int) -> float:
+        """Plan-relative fire time of round *round_index*."""
+        return self.start + round_index * self.interval
+
+    @property
+    def final_tick(self) -> float:
+        return self.tick(self.rounds - 1)
+
+    def validate(self, network: Network) -> None:
+        """Raise :class:`MeasureError` on references to unknown nodes."""
+        for vantage in self.vantages:
+            try:
+                network.node(vantage)
+            except Exception as exc:
+                raise MeasureError(
+                    f"unknown probe vantage {vantage!r}") from exc
+        for target in self.targets:
+            if target.kind == "unicast":
+                try:
+                    network.node(target.name)
+                except Exception as exc:
+                    raise MeasureError(
+                        f"unicast probe target {target.name!r} must be a "
+                        "node id") from exc
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable-key, JSON-safe form (the unified ``to_dict`` contract)."""
+        return {"vantages": list(self.vantages),
+                "targets": [{"name": t.name, "dst": str(t.dst),
+                             "kind": t.kind} for t in self.targets],
+                "interval": self.interval,
+                "start": self.start,
+                "rounds": self.rounds}

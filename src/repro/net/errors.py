@@ -78,3 +78,7 @@ class WorkloadError(ReproError):
 
 class FleetError(ReproError):
     """A fleet matrix or sweep invocation was malformed."""
+
+
+class MeasureError(ReproError):
+    """A probe plan is malformed or references unknown nodes."""

@@ -121,19 +121,27 @@ class HopRecord:
     depth: int = 1
     #: True when this hop's action was caused by injected-fault state.
     faulted: bool = False
+    #: Cumulative sim-time latency (sum of :attr:`Link.delay` over the
+    #: links crossed so far) at the moment this hop was recorded.
+    latency: float = 0.0
 
     def format(self) -> str:
         """The single rendering of a hop.
 
         Both ``ForwardingTrace.__str__`` and the JSONL event form
         (:meth:`to_dict`'s ``rendered`` field) use this helper, so the
-        ``[depth=N]`` and ``[fault]`` annotations can never diverge
-        between the pretty trace and the machine-readable one.
+        ``[depth=N]``, ``[fault]`` and ``[lat=T]`` annotations can never
+        diverge between the pretty trace and the machine-readable one.
+        The latency annotation only appears once delay has accumulated,
+        so hops before the first link crossing render exactly as they
+        did under trace schema v2.
         """
         extra = f" ({self.detail})" if self.detail else ""
         depth = f" [depth={self.depth}]" if self.depth > 1 else ""
         fault = " [fault]" if self.faulted else ""
-        return f"{self.node_id}[AS{self.domain_id}] {self.action}{extra}{depth}{fault}"
+        lat = f" [lat={self.latency:g}]" if self.latency > 0 else ""
+        return (f"{self.node_id}[AS{self.domain_id}] "
+                f"{self.action}{extra}{depth}{fault}{lat}")
 
     def __str__(self) -> str:
         return self.format()
@@ -142,6 +150,7 @@ class HopRecord:
         return {"node": self.node_id, "domain": self.domain_id,
                 "action": self.action, "detail": self.detail,
                 "depth": self.depth, "faulted": self.faulted,
+                "latency": self.latency,
                 "rendered": self.format()}
 
 
@@ -163,6 +172,10 @@ class ForwardingTrace:
     #: Last node at which the packet was carried inside the vN-Bone.
     last_vn_node: Optional[str] = None
     drop_reason: str = ""
+    #: Cumulative sim-time latency of the walk: the sum of
+    #: :attr:`Link.delay` over every physical link crossed.  One-way;
+    #: probe RTTs double it under the symmetric-return assumption.
+    latency: float = 0.0
     #: Sticky flag set at :meth:`record` time so :attr:`faulted` never
     #: has to rescan the hop list (it is read per trace by both
     #: ``_observe_trace`` and ``to_dict``).
@@ -172,7 +185,7 @@ class ForwardingTrace:
                faulted: bool = False) -> None:
         self.hops.append(HopRecord(node_id=node.node_id, domain_id=node.domain_id,
                                    action=action, detail=detail, depth=depth,
-                                   faulted=faulted))
+                                   faulted=faulted, latency=self.latency))
         if faulted:
             self._fault_recorded = True
 
@@ -220,6 +233,7 @@ class ForwardingTrace:
                 "encapsulations": self.encapsulations,
                 "decapsulations": self.decapsulations,
                 "max_depth": self.max_depth,
+                "latency": self.latency,
                 "ingress_router": self.ingress_router,
                 "egress_router": self.egress_router,
                 "last_vn_node": self.last_vn_node,
@@ -362,6 +376,7 @@ class ForwardingEngine:
                 "encapsulations": trace.encapsulations,
                 "decapsulations": trace.decapsulations,
                 "max_depth": trace.max_depth,
+                "latency": trace.latency,
                 "faulted": trace.faulted,
                 "drop_reason": trace.drop_reason}
 
@@ -376,7 +391,8 @@ class ForwardingEngine:
                   delivered_to=trace.delivered_to,
                   physical_hops=trace.physical_hops, vn_hops=trace.vn_hops,
                   encapsulations=trace.encapsulations,
-                  max_depth=trace.max_depth, faulted=trace.faulted,
+                  max_depth=trace.max_depth, latency=trace.latency,
+                  faulted=trace.faulted,
                   hops=[hop.format() for hop in trace.hops])
 
     def forward_multicast(self, packet: Packet, start: str) -> "MulticastTrace":
@@ -499,6 +515,7 @@ class ForwardingEngine:
             return None
         packet.replace_outer(outer.decremented())
         trace.physical_hops += 1
+        trace.latency += link.delay
         trace.record(node, "ipv4-forward", f"-> {entry.next_hop} ({entry.prefix})",
                      depth=packet.depth)
         return self.network.node(entry.next_hop)

@@ -54,6 +54,18 @@ from repro.obs import MetricSampler, Observability, SpanContext, get_obs
 Callback = Callable[[], None]
 
 
+class ClockDriven:
+    """Protocol for objects pulled on every scheduler clock advance.
+
+    Implemented by :class:`repro.measure.ProbeEngine`;
+    :class:`repro.obs.MetricSampler` has the same shape but keeps its
+    dedicated slot (probes must observe *before* metric sampling).
+    """
+
+    def on_advance(self, now: float) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
 @dataclass(order=True)
 class _Event:
     time: float
@@ -243,6 +255,12 @@ class EventScheduler:
         #: repro.obs.sampler); None unless attached, so the disabled
         #: path pays one attribute check.
         self._sampler: Optional[MetricSampler] = None
+        #: Optional probe engine (see repro.measure.engine) driven the
+        #: same lazy way; typed loosely to avoid importing repro.measure
+        #: (which imports this module).  Probes fire *before* the
+        #: sampler so a metric tick at the same instant already sees the
+        #: probe round's counter updates.
+        self._probes: Optional[ClockDriven] = None
         self._c_scheduled = self.obs.counter("scheduler.events_scheduled")
         self._c_fired = self.obs.counter("scheduler.events_fired")
         self._c_cancelled = self.obs.counter("scheduler.events_cancelled")
@@ -343,6 +361,22 @@ class EventScheduler:
         self._sampler = sampler
         sampler.on_advance(self._now)
 
+    def attach_probe_engine(self, engine: ClockDriven) -> None:
+        """Drive *engine* from this scheduler's clock advances.
+
+        Same pull contract as :meth:`attach_sampler`: probe rounds fire
+        from :meth:`step` / :meth:`run_until` clock updates rather than
+        queued events, so an armed probe plan never keeps the queue
+        alive during ``run_until_idle`` (convergence still means "the
+        queue drained") and never overruns a fault epoch's
+        ``run_until`` target.
+        """
+        self._probes = engine
+        engine.on_advance(self._now)
+
+    def detach_probe_engine(self) -> None:
+        self._probes = None
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         event = self._pop_next()
@@ -352,6 +386,8 @@ class EventScheduler:
         self.events_processed += 1
         if self.obs.enabled:
             self._c_fired.inc()
+        if self._probes is not None:
+            self._probes.on_advance(self._now)
         if self._sampler is not None:
             self._sampler.on_advance(self._now)
         ctx = event.span_ctx
@@ -402,6 +438,8 @@ class EventScheduler:
                 raise ConvergenceError(
                     f"event budget exhausted after {max_events} events before t={time}")
         self._now = max(self._now, time)
+        if self._probes is not None:
+            self._probes.on_advance(self._now)
         if self._sampler is not None:
             self._sampler.on_advance(self._now)
         if self.obs.enabled:

@@ -32,10 +32,12 @@ RUN_END = "run.end"
 
 #: Schema tag stamped into the ``run.start`` header.  v2 added the
 #: ``span.start``/``span.end`` causal-span events (``docs/tracing.md``);
-#: v1 streams (no ``schema`` field) still validate.
-TRACE_SCHEMA = "repro.trace/v2"
+#: v3 adds ``probe.rtt`` measurement events and latency fields on
+#: forward events/spans.  v1 streams (no ``schema`` field) and v2
+#: streams still validate.
+TRACE_SCHEMA = "repro.trace/v3"
 
-_KNOWN_SCHEMAS = ("repro.trace/v1", TRACE_SCHEMA)
+_KNOWN_SCHEMAS = ("repro.trace/v1", "repro.trace/v2", TRACE_SCHEMA)
 
 
 class Tracer:

@@ -33,6 +33,9 @@ The emitted document is ``repro.bench/v2`` with ``"mode":
           "delivery": {"attempted": int, "delivered": int,
                         "physical_hops": int},
           "identical_metrics": bool,  # delivery identical across legs
+          "measurement": {"probes": int, "delivered": int,
+                           "rtt_mean": float,
+                           "identical_series": bool},
           "control_plane": {
             "convergence_events": {"grouped": int, "seed": int},
             "wall_install_seconds": {"grouped": float, "seed": float},
@@ -44,11 +47,15 @@ The emitted document is ``repro.bench/v2`` with ``"mode":
       ],
       "totals": {"wall_seconds": {"fastpath": float, "slowpath": float},
                   "identical_metrics": bool,
-                  "identical_fibs": bool}
+                  "identical_fibs": bool,
+                  "identical_probe_series": bool}
     }
 
 ``identical_metrics`` is the correctness bit: both legs must deliver
-the same packets over the same hop counts.  ``speedup`` and the
+the same packets over the same hop counts.  ``measurement`` drives a
+small :mod:`repro.measure` probe plan through each leg after the timed
+traffic phase — ``identical_series`` proves the full RTT probe series
+(sample for sample, latency included) is unchanged by the fast path.  ``speedup`` and the
 ``wall_*`` fields are nondeterministic — plot them, never gate on them
 (the CI smoke job checks schema and determinism only).
 
@@ -79,6 +86,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.egress import grouped_install
 from repro.core.orchestrator import Orchestrator
+from repro.measure import ProbeEngine, ProbePlan, ProbeTarget
 from repro.net.fastpath import flow_fastpath
 from repro.net.network import Network
 from repro.net.packet import ipv4_packet
@@ -100,6 +108,11 @@ FULL_TRAFFIC = (400, 40)
 #: per-AS streams, which are keyed by ASN).
 _FLOW_STREAM = 0x5EED
 
+#: Probe-plan sizing of the per-leg measurement phase: (vantages,
+#: unicast targets, rounds, sim-time interval).  Tiny on purpose — the
+#: phase is an equivalence check, not a benchmark.
+_PROBE_SHAPE = (4, 2, 3, 5.0)
+
 
 @dataclass
 class CellLeg:
@@ -111,6 +124,7 @@ class CellLeg:
     traffic_wall_seconds: float
     delivery: Dict[str, int]
     fastpath_stats: Dict[str, int]
+    probe_series: Dict[str, object]
 
 
 @dataclass
@@ -197,6 +211,32 @@ def _sample_flows(hosts: Sequence[str], n_flows: int,
     return flows
 
 
+def _probe_series(orchestrator: Orchestrator, network: Network,
+                  hosts: Sequence[str]) -> Dict[str, object]:
+    """Run the per-leg measurement phase: a tiny unicast probe plan.
+
+    Vantages are the first hosts, targets the last — a pure function of
+    the generated host order, so both legs run the identical plan.  The
+    legs have no observability handle; the engine's in-memory samples
+    are the series.
+    """
+    n_vantages, n_targets, rounds, interval = _PROBE_SHAPE
+    vantages = tuple(hosts[:n_vantages])
+    target_hosts = [h for h in hosts[-n_targets:] if h not in vantages]
+    if not target_hosts:
+        return {"probes": 0, "delivered": 0, "lost": 0, "samples": []}
+    plan = ProbePlan(
+        vantages=vantages,
+        targets=tuple(ProbeTarget(name=h, dst=network.node(h).ipv4)
+                      for h in target_hosts),
+        interval=interval, rounds=rounds)
+    engine = ProbeEngine(orchestrator.scheduler, orchestrator.engine,
+                         network, plan)
+    engine.arm()
+    engine.finish()
+    return engine.series()
+
+
 def run_cell_leg(n_routers: int, seed: int, n_flows: int, repeats: int,
                  fastpath_on: bool) -> CellLeg:
     """Build, converge, and drive one leg of one sweep cell."""
@@ -223,6 +263,10 @@ def run_cell_leg(n_routers: int, seed: int, n_flows: int, repeats: int,
                     delivered += 1
                 physical_hops += trace.physical_hops
         wall_traffic = time.perf_counter() - wall_traffic_t0
+        # Snapshot before the probe leg: the fastpath invariant
+        # (hits + misses == attempted) is pinned to the traffic loop.
+        fastpath_stats = engine.fastpath.stats()
+        probe_series = _probe_series(orchestrator, network, hosts)
     return CellLeg(
         routers_built=len(network.nodes),
         ases=len(network.domains),
@@ -230,7 +274,8 @@ def run_cell_leg(n_routers: int, seed: int, n_flows: int, repeats: int,
         traffic_wall_seconds=wall_traffic,
         delivery={"attempted": attempted, "delivered": delivered,
                   "physical_hops": physical_hops},
-        fastpath_stats=engine.fastpath.stats())
+        fastpath_stats=fastpath_stats,
+        probe_series=probe_series)
 
 
 def _cell(n_routers: int, seed: int, n_flows: int,
@@ -254,7 +299,23 @@ def _cell(n_routers: int, seed: int, n_flows: int,
                                  "packets_aggregated")},
         "delivery": dict(fast.delivery),
         "identical_metrics": identical,
+        "measurement": _measurement_entry(fast, slow),
         "control_plane": _control_plane_entry(n_routers, seed),
+    }
+
+
+def _measurement_entry(fast: CellLeg, slow: CellLeg) -> Dict[str, object]:
+    """The ``measurement`` block: probe totals plus the sample-for-sample
+    equivalence bit between the fast-path and slow-path series."""
+    samples = fast.probe_series.get("samples")
+    rtts = [s["rtt"] for s in samples  # type: ignore[index, union-attr]
+            if isinstance(s, dict) and s.get("rtt") is not None]
+    return {
+        "probes": fast.probe_series.get("probes", 0),
+        "delivered": fast.probe_series.get("delivered", 0),
+        "rtt_mean": (sum(rtts) / len(rtts)) if rtts else 0.0,  # type: ignore[arg-type]
+        "identical_series": (_canonical(fast.probe_series)
+                             == _canonical(slow.probe_series)),
     }
 
 
@@ -282,6 +343,9 @@ def run_sweep(seed: int = DEFAULT_SEED, quick: bool = False,
                                      for c in cells),
             "identical_fibs": all(
                 bool(c["control_plane"]["identical_fibs"])  # type: ignore[index]
+                for c in cells),
+            "identical_probe_series": all(
+                bool(c["measurement"]["identical_series"])  # type: ignore[index]
                 for c in cells),
         },
     }

@@ -39,7 +39,7 @@ class TestReportOnSeededRun:
 
     def test_run_context_is_carried(self, report):
         assert report["run"]["context"]["seed"] == 7
-        assert report["run"]["trace_schema"] == "repro.trace/v2"
+        assert report["run"]["trace_schema"] == "repro.trace/v3"
         assert report["run"]["complete"] is True
 
     def test_critical_path_has_nonzero_phases(self, report):
@@ -76,7 +76,7 @@ class TestReportOnSeededRun:
         assert forwarding["packets"] > 0
         dists = forwarding["distributions"]
         assert set(dists) == {"physical_hops", "vn_hops", "encapsulations",
-                              "decapsulations", "max_depth"}
+                              "decapsulations", "max_depth", "latency"}
         hops = dists["physical_hops"]
         assert hops["count"] == forwarding["packets"]
         assert hops["min"] <= hops["mean"] <= hops["max"]

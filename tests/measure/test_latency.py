@@ -1,0 +1,76 @@
+"""Delay-weighted path accounting on forwarding traces.
+
+Every physical hop adds its link's ``delay`` to the walk's cumulative
+latency; hop records carry the running total, render it exactly once
+(``HopRecord.format()`` is the single rendering), and serialize it
+through the ``to_dict()`` round-trip contract.
+"""
+
+import json
+
+from repro.net import Domain, Network, Prefix, ipv4_packet
+from repro.net.forwarding import ForwardingEngine
+from repro.net.node import FibEntry, RouteSource
+
+
+def delay_line(delays=(2.0, 3.0)):
+    """r0 - r1 - ... with explicit link delays and static routes to
+    the last router."""
+    net = Network()
+    net.add_domain(Domain(asn=1, name="one",
+                          prefix=Prefix.parse("10.1.0.0/16")))
+    n = len(delays) + 1
+    for i in range(n):
+        net.add_router(f"r{i}", 1)
+    for i, delay in enumerate(delays):
+        net.add_link(f"r{i}", f"r{i + 1}", delay=delay)
+    last = net.node(f"r{n - 1}")
+    for i in range(n - 1):
+        net.node(f"r{i}").fib4.install(FibEntry(
+            prefix=Prefix.host(last.ipv4), next_hop=f"r{i + 1}",
+            source=RouteSource.STATIC))
+    return net
+
+
+def walk(net, src="r0", dst="r2"):
+    engine = ForwardingEngine(net)
+    packet = ipv4_packet(net.node(src).ipv4, net.node(dst).ipv4)
+    return engine.forward(packet, src)
+
+
+class TestTraceLatency:
+    def test_latency_accumulates_link_delays(self):
+        trace = walk(delay_line((2.0, 3.0)))
+        assert trace.delivered
+        assert trace.latency == 5.0
+        # Forward records are written after the link is crossed, so each
+        # carries the cumulative latency including the hop just taken.
+        assert [hop.latency for hop in trace.hops] == [2.0, 5.0, 5.0]
+
+    def test_undelivered_walk_keeps_partial_latency(self):
+        net = delay_line((2.0, 3.0))
+        net.link_between("r1", "r2").fail()
+        trace = walk(net)
+        assert not trace.delivered
+        # The dead link's delay is never paid.
+        assert trace.latency == 2.0
+
+    def test_hop_format_annotates_latency_exactly_when_nonzero(self):
+        trace = walk(delay_line((2.0, 3.0)))
+        rendered = [hop.format() for hop in trace.hops]
+        assert rendered[0].endswith("[lat=2]")
+        assert rendered[1].endswith("[lat=5]")
+        assert rendered[2].endswith("[lat=5]")
+
+    def test_zero_delay_links_render_like_pre_v3_hops(self):
+        trace = walk(delay_line((0.0, 0.0)))
+        assert trace.latency == 0.0
+        for hop in trace.hops:
+            assert "[lat=" not in hop.format()
+
+    def test_to_dict_round_trips_latency(self):
+        doc = walk(delay_line((2.0, 3.0))).to_dict()
+        assert doc["latency"] == 5.0
+        assert [hop["latency"] for hop in doc["hops"]] == [2.0, 5.0, 5.0]
+        dumped = json.dumps(doc, sort_keys=True)
+        assert json.dumps(json.loads(dumped), sort_keys=True) == dumped

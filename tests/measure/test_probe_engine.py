@@ -1,0 +1,199 @@
+"""The probe engine: plan validation, pull semantics, fault composition.
+
+The engine must fire from scheduler clock advances only (never queued
+events), stamp each round with its own tick time even across long
+clock jumps, and record loss as undelivered samples rather than
+raising.
+"""
+
+import pytest
+
+from repro.measure import (DelayOracle, ProbeEngine, ProbePlan, ProbeTarget,
+                           delay_tree)
+from repro.net import Domain, Network, Prefix, ipv4
+from repro.net.errors import MeasureError
+from repro.net.forwarding import ForwardingEngine
+from repro.net.node import FibEntry, RouteSource
+from repro.net.simulator import EventScheduler
+
+
+def probe_net(delays=(2.0, 3.0)):
+    net = Network()
+    net.add_domain(Domain(asn=1, name="one",
+                          prefix=Prefix.parse("10.1.0.0/16")))
+    n = len(delays) + 1
+    for i in range(n):
+        net.add_router(f"r{i}", 1)
+    for i, delay in enumerate(delays):
+        net.add_link(f"r{i}", f"r{i + 1}", delay=delay)
+    last = net.node(f"r{n - 1}")
+    for i in range(n - 1):
+        net.node(f"r{i}").fib4.install(FibEntry(
+            prefix=Prefix.host(last.ipv4), next_hop=f"r{i + 1}",
+            source=RouteSource.STATIC))
+    return net
+
+
+def unicast_plan(net, dst="r2", **overrides):
+    kwargs = dict(vantages=("r0",),
+                  targets=(ProbeTarget(name=dst, dst=net.node(dst).ipv4),),
+                  interval=5.0, rounds=3)
+    kwargs.update(overrides)
+    return ProbePlan(**kwargs)
+
+
+def make_engine(net, plan):
+    return ProbeEngine(EventScheduler(), ForwardingEngine(net), net, plan)
+
+
+class TestPlanValidation:
+    def test_empty_vantages_rejected(self):
+        with pytest.raises(MeasureError):
+            ProbePlan(vantages=(), targets=(ProbeTarget("x", ipv4("1.2.3.4")),))
+
+    def test_duplicate_vantages_rejected(self):
+        with pytest.raises(MeasureError):
+            ProbePlan(vantages=("r0", "r0"),
+                      targets=(ProbeTarget("x", ipv4("1.2.3.4")),))
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(MeasureError):
+            ProbePlan(vantages=("r0",),
+                      targets=(ProbeTarget("x", ipv4("1.2.3.4")),),
+                      interval=0.0)
+
+    def test_unknown_target_kind_rejected(self):
+        with pytest.raises(MeasureError):
+            ProbePlan(vantages=("r0",),
+                      targets=(ProbeTarget("x", ipv4("1.2.3.4"),
+                                           kind="broadcast"),))
+
+    def test_unknown_vantage_rejected_against_network(self):
+        net = probe_net()
+        with pytest.raises(MeasureError):
+            make_engine(net, unicast_plan(net, vantages=("nope",)))
+
+    def test_unicast_target_must_be_a_node_id(self):
+        net = probe_net()
+        plan = ProbePlan(vantages=("r0",),
+                         targets=(ProbeTarget("ghost", ipv4("99.0.0.1")),))
+        with pytest.raises(MeasureError):
+            make_engine(net, plan)
+
+    def test_anycast_targets_need_a_replica_callback(self):
+        net = probe_net()
+        plan = ProbePlan(vantages=("r0",),
+                         targets=(ProbeTarget("svc", ipv4("99.0.0.1"),
+                                              kind="anycast"),))
+        with pytest.raises(MeasureError):
+            make_engine(net, plan)
+
+
+class TestPullSemantics:
+    def test_round_zero_fires_at_arm_time(self):
+        net = probe_net()
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        assert [s.t for s in engine.samples] == [0.0]
+
+    def test_rounds_fire_as_the_clock_reaches_their_ticks(self):
+        net = probe_net()
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        engine.scheduler.run_until(5.0)
+        assert [s.t for s in engine.samples] == [0.0, 5.0]
+        engine.finish()
+        assert [s.t for s in engine.samples] == [0.0, 5.0, 10.0]
+
+    def test_long_clock_jump_fires_every_due_round_in_order(self):
+        net = probe_net()
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        engine.scheduler.run_until(40.0)
+        assert [s.t for s in engine.samples] == [0.0, 5.0, 10.0]
+        assert [s.round for s in engine.samples] == [0, 1, 2]
+
+    def test_ticks_are_relative_to_arm_time(self):
+        net = probe_net()
+        engine = make_engine(net, unicast_plan(net, start=1.0))
+        engine.scheduler.run_until(7.0)
+        engine.arm()
+        engine.finish()
+        assert [s.t for s in engine.samples] == [8.0, 13.0, 18.0]
+
+    def test_rtt_is_twice_the_one_way_latency(self):
+        net = probe_net((2.0, 3.0))
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        engine.finish()
+        for sample in engine.samples:
+            assert sample.delivered
+            assert sample.latency == 5.0
+            assert sample.rtt == 10.0
+            assert sample.best_replica == "r2"
+            assert sample.best_rtt == 10.0
+
+    def test_double_arm_and_unarmed_finish_raise(self):
+        net = probe_net()
+        engine = make_engine(net, unicast_plan(net))
+        with pytest.raises(MeasureError):
+            engine.finish()
+        engine.arm()
+        with pytest.raises(MeasureError):
+            engine.arm()
+
+
+class TestFaultComposition:
+    def test_loss_is_a_gap_not_an_exception(self):
+        net = probe_net()
+        net.link_between("r1", "r2").fail()
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        engine.finish()
+        assert len(engine.samples) == 3
+        for sample in engine.samples:
+            assert not sample.delivered
+            assert sample.rtt is None
+            assert sample.replica is None
+
+    def test_series_counts_delivered_and_lost(self):
+        net = probe_net()
+        net.link_between("r1", "r2").fail()
+        engine = make_engine(net, unicast_plan(net))
+        engine.arm()
+        engine.finish()
+        series = engine.series()
+        assert series["probes"] == 3
+        assert series["delivered"] == 0
+        assert series["lost"] == 3
+        assert len(series["samples"]) == 3
+
+
+class TestDelayOracle:
+    def test_delay_tree_walks_delay_not_cost(self):
+        net = probe_net((2.0, 3.0))
+        assert delay_tree(net, "r0") == {"r0": 0.0, "r1": 2.0, "r2": 5.0}
+
+    def test_down_nodes_do_not_carry_paths(self):
+        net = probe_net((2.0, 3.0))
+        net.crash_node("r1")
+        assert delay_tree(net, "r0") == {"r0": 0.0}
+        assert delay_tree(net, "r1") == {}
+
+    def test_best_replica_ties_break_to_smallest_id(self):
+        net = Network()
+        net.add_domain(Domain(asn=1, name="one",
+                              prefix=Prefix.parse("10.1.0.0/16")))
+        for node_id in ("hub", "a", "b"):
+            net.add_router(node_id, 1)
+        net.add_link("hub", "a", delay=4.0)
+        net.add_link("hub", "b", delay=4.0)
+        oracle = DelayOracle(net)
+        assert oracle.best_replica("hub", ["b", "a"]) == ("a", 4.0)
+
+    def test_memo_invalidates_on_topology_change(self):
+        net = probe_net((2.0, 3.0))
+        oracle = DelayOracle(net)
+        assert oracle.delay("r0", "r2") == 5.0
+        net.link_between("r1", "r2").fail()
+        assert oracle.delay("r0", "r2") is None
